@@ -1,0 +1,23 @@
+"""Shared helpers for the paper-reproduction benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper and prints
+it in text form (run with ``-s`` to see the output inline; a full run
+is archived in EXPERIMENTS.md).  ``pytest-benchmark`` records the
+wall-clock cost of regenerating each artifact; every scenario is run
+once per invocation (``rounds=1``) because the interesting quantity is
+the *simulated* result, not the harness's own speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run a scenario exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    return lambda fn: run_once(benchmark, fn)

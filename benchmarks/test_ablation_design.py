@@ -1,0 +1,132 @@
+"""Ablations of the speed balancer's design choices (Section 5).
+
+The paper motivates each ingredient of the algorithm; these benches
+remove them one at a time on the canonical 16-threads-on-12-cores EP
+scenario and measure the damage:
+
+* **jitter** -- "randomness in the balancing interval on each core"
+  breaks migration cycles and spreads balancer wake-ups;
+* **speed threshold T_s** -- rejects measurement noise; T_s too high
+  causes spurious migrations on balanced systems, T_s = 0 disables
+  balancing altogether;
+* **victim policy** -- "the thread that has migrated the least ...
+  avoid[s] creating 'hot-potato' tasks";
+* **post-migration block** -- two balance intervals guarantee fresh
+  speed measurements; without it, stale speeds cause over-migration;
+* **NUMA blocking** (Barcelona) -- migrating across nodes strands
+  memory behind the remote-access penalty.
+"""
+
+from dataclasses import replace
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.workloads import ep_app
+from repro.core.speed_balancer import SpeedBalancerConfig
+from repro.harness import report
+from repro.harness.experiment import repeat_run
+from repro.sched.task import WaitMode
+from repro.topology import presets
+from repro.topology.machine import DomainLevel
+
+YIELD = WaitPolicy(mode=WaitMode.YIELD)
+SEEDS = range(4)
+TOTAL_US = 1_500_000
+
+
+def _ep16(system):
+    return ep_app(system, n_threads=16, wait_policy=YIELD,
+                  total_compute_us=TOTAL_US)
+
+
+def _run(config, machine=presets.tigerton, cores=12):
+    return repeat_run(machine, _ep16, "speed", cores=cores, seeds=SEEDS,
+                      speed_config=config)
+
+
+def run_all():
+    base = SpeedBalancerConfig()
+    results = {
+        "paper defaults": _run(base),
+        "no jitter": _run(replace(base, jitter=False)),
+        "T_s = 0.99 (no noise guard)": _run(replace(base, speed_threshold=0.99)),
+        "T_s = 0.5 (deaf)": _run(replace(base, speed_threshold=0.5)),
+        "victim: most-migrated": _run(replace(base, victim_policy="most-migrated")),
+        "victim: random": _run(replace(base, victim_policy="random")),
+        "no post-migration block": _run(
+            replace(base, post_migration_block_intervals=0.0)
+        ),
+        "long block (6 intervals)": _run(
+            replace(base, post_migration_block_intervals=6.0)
+        ),
+        "no initial pinning": _run(replace(base, initial_pinning=False)),
+        "no min-gain guard": _run(replace(base, min_gain_guard=False)),
+        "adaptive interval": _run(replace(base, adaptive_interval=True)),
+    }
+    # NUMA blocking ablation runs on the Barcelona
+    numa_open = replace(
+        base, level_enabled=dict.fromkeys(DomainLevel, True)
+    )
+    results["barcelona, NUMA blocked (default)"] = _run(
+        base, machine=presets.barcelona
+    )
+    results["barcelona, NUMA open"] = _run(numa_open, machine=presets.barcelona)
+    return results
+
+
+def test_ablation_design_choices(once):
+    results = once(run_all)
+
+    rows = [
+        [name, rr.mean_speedup, rr.variation_pct, rr.mean_migrations]
+        for name, rr in results.items()
+    ]
+    print()
+    print(report.table(
+        ["configuration", "speedup", "variation %", "migrations"],
+        rows,
+        title="Ablations: EP, 16 threads on 12 cores (ideal 12)",
+        float_fmt="{:.2f}",
+    ))
+
+    base = results["paper defaults"]
+
+    # deaf threshold disables balancing: collapses to the LOAD shape
+    assert results["T_s = 0.5 (deaf)"].mean_speedup < 0.8 * base.mean_speedup
+
+    # hot-potato victims waste rotations: strictly worse than defaults
+    assert (
+        results["victim: most-migrated"].mean_speedup <= base.mean_speedup * 1.01
+    )
+
+    # removing the block must not *improve* stability; it typically
+    # inflates migrations (stale speeds trigger extra pulls)
+    assert (
+        results["no post-migration block"].mean_migrations
+        >= base.mean_migrations
+    )
+
+    # an over-long block slows rotation: fewer migrations, lower speedup
+    long_block = results["long block (6 intervals)"]
+    assert long_block.mean_migrations < base.mean_migrations
+    assert long_block.mean_speedup < base.mean_speedup * 1.01
+
+    # initial pinning mostly protects variation and the startup phase
+    assert results["no initial pinning"].mean_speedup > 0.75 * base.mean_speedup
+
+    # the min-gain guard must not cost anything on the homogeneous
+    # oversubscribed workload (it only blocks pointless migrations)
+    assert results["no min-gain guard"].mean_speedup < base.mean_speedup * 1.03
+
+    # the adaptive interval must not degrade active balancing
+    assert results["adaptive interval"].mean_speedup > 0.9 * base.mean_speedup
+
+    # NUMA: blocking node migrations wins on the NUMA machine
+    blocked = results["barcelona, NUMA blocked (default)"]
+    open_ = results["barcelona, NUMA open"]
+    assert blocked.mean_speedup >= 0.98 * open_.mean_speedup
+
+    # every configuration still beats the queue-length-balancing floor
+    for name, rr in results.items():
+        if "deaf" in name:
+            continue
+        assert rr.mean_speedup > 8.0, name

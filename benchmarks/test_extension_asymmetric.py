@@ -1,0 +1,124 @@
+"""Extension study (beyond the paper's evaluation): asymmetric clocks.
+
+Section 3 motivates speed balancing with asymmetric systems (Turbo
+Boost, OS-reserved cores) but the evaluation machines are symmetric.
+This bench runs the study the motivation implies:
+
+* a static Turbo-Boost-style machine (two 1.3x, two 0.85x, four 1.0x
+  cores) under oversubscription;
+* the same machine with *dynamic* throttling mid-run;
+
+comparing SPEED (with the paper's clock-weighting extension) against
+LOAD and PINNED.  Shape targets: SPEED's clock-weighted rotation beats
+both static assignment and queue-length balancing, which are blind to
+clock speed; with one thread per core (where pull-only balancing
+cannot help), the min-gain guard keeps SPEED at parity instead of
+thrashing.
+"""
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.workloads import ep_app
+from repro.harness import report
+from repro.harness.experiment import repeat_run, run_app
+from repro.sched.task import WaitMode
+from repro.topology import presets
+
+YIELD = WaitPolicy(mode=WaitMode.YIELD)
+CLOCKS = [1.3, 1.3, 0.85, 0.85, 1.0, 1.0, 1.0, 1.0]
+SEEDS = range(3)
+
+
+def _factory(n_threads, per_thread_us):
+    def factory(system):
+        return ep_app(system, n_threads=n_threads, wait_policy=YIELD,
+                      total_compute_us=per_thread_us)
+
+    return factory
+
+
+def run_static():
+    out = {}
+    for mode in ("speed", "load", "pinned"):
+        out[mode] = repeat_run(
+            lambda: presets.asymmetric(CLOCKS), _factory(12, 2_000_000),
+            balancer=mode, seeds=SEEDS,
+        )
+    return out
+
+
+def run_dynamic():
+    """Symmetric at start; cores 0-1 throttle to 0.6x at t=0.3s."""
+    out = {}
+    for mode in ("speed", "load"):
+        runs = []
+        for seed in SEEDS:
+            res, system = run_app(
+                presets.uniform(8), _factory(12, 2_000_000), balancer=mode,
+                seed=seed, return_system=True,
+            )
+            runs.append(res)
+        out[mode] = runs
+    return out
+
+
+def run_dynamic_with_throttle():
+    from repro.balance.linux import LinuxLoadBalancer
+    from repro.core.speed_balancer import SpeedBalancer
+    from repro.system import System
+
+    out = {}
+    for mode in ("speed", "load"):
+        elapsed = []
+        for seed in SEEDS:
+            system = System(presets.uniform(8), seed=seed)
+            system.set_balancer(LinuxLoadBalancer())
+            app = ep_app(system, n_threads=12, wait_policy=YIELD,
+                         total_compute_us=2_000_000)
+            if mode == "speed":
+                system.add_user_balancer(SpeedBalancer(app))
+            app.spawn()
+            for cid in (0, 1):
+                system.schedule_clock_change(300_000, cid, 0.6)
+            system.run_until_done([app])
+            elapsed.append(app.elapsed_us)
+        out[mode] = sum(elapsed) / len(elapsed)
+    return out
+
+
+def test_extension_asymmetric_static(once):
+    results = once(run_static)
+    capacity = sum(CLOCKS)
+    ideal_s = 12 * 2_000_000 / capacity / 1e6
+    rows = [
+        [mode.upper(), rr.mean_time_us / 1e6, rr.variation_pct,
+         rr.mean_migrations]
+        for mode, rr in results.items()
+    ]
+    print()
+    print(report.table(
+        ["balancer", "time (s)", "variation %", "migrations"],
+        rows,
+        title=(
+            f"Extension: EP 12 threads on 8 cores, clocks {CLOCKS} "
+            f"(capacity-ideal {ideal_s:.2f} s)"
+        ),
+    ))
+    speed = results["speed"].mean_time_us
+    assert speed < 0.85 * results["pinned"].mean_time_us
+    assert speed < 0.85 * results["load"].mean_time_us
+    assert speed < 1.25 * ideal_s * 1e6
+
+
+def test_extension_dynamic_throttling(once):
+    out = once(run_dynamic_with_throttle)
+    print()
+    print(report.kv_block(
+        "Extension: 12 threads on 8 cores; cores 0-1 throttle to 0.6x "
+        "at t=0.3s (mean over seeds)",
+        {
+            "SPEED time (s)": out["speed"] / 1e6,
+            "LOAD time (s)": out["load"] / 1e6,
+            "LOAD/SPEED": out["load"] / out["speed"],
+        },
+    ))
+    assert out["speed"] < 0.9 * out["load"]

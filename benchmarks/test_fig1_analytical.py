@@ -1,0 +1,68 @@
+"""Figure 1: profitability threshold of speed balancing.
+
+Paper: "Relationship between inter-thread synchronization interval (S)
+and a fixed balancing interval (B=1) ... The scale of the figure is cut
+off at 10; the actual data range is [0.015, 147]" over 10..100 cores.
+
+We regenerate the grid from the Section 4 model, print a coarse text
+heatmap plus the summary statistics the caption quotes, and check the
+claims: the majority of configurations need S <= 1, and the diagonals
+(N just under a multiple of M: many slow queues, few fast) are the
+worst cases.
+"""
+
+import numpy as np
+
+from repro.core import analytical as an
+from repro.harness import report
+
+
+def regenerate():
+    cores = range(10, 101)
+    threads = range(10, 401)
+    cores_ax, threads_ax, grid = an.figure1_grid(cores, threads, b=1.0)
+    positive = grid[grid > 0]
+    return cores_ax, threads_ax, grid, positive
+
+
+def test_fig1_profitability_grid(once):
+    cores_ax, threads_ax, grid, positive = once(regenerate)
+
+    # -- caption claims -------------------------------------------------
+    frac_fine = float((positive <= 1.0).mean())
+    assert frac_fine > 0.5, "majority of cases must allow fine-grained S<=1"
+    assert positive.min() <= 0.05
+    assert positive.max() >= 50
+
+    # diagonal worst case: N = 2M - 1 (two threads per core, M-1 slow)
+    m = 80
+    diag = an.min_profitable_s(2 * m - 1, m)
+    nearby = an.min_profitable_s(2 * m + 1, m)
+    assert diag > 20 * nearby
+
+    # -- paper-style rendering ------------------------------------------
+    sample_cores = [10, 20, 40, 60, 80, 100]
+    sample_threads = [20, 50, 100, 150, 250, 350]
+    rows = []
+    for n in sample_threads:
+        row = [n]
+        for m_ in sample_cores:
+            i = int(np.where(threads_ax == n)[0][0])
+            j = int(np.where(cores_ax == m_)[0][0])
+            row.append(min(grid[i, j], 10.0))  # same scale cut as the paper
+        rows.append(row)
+    print()
+    print(report.table(
+        ["threads\\cores"] + [str(c) for c in sample_cores],
+        rows,
+        title="Figure 1: minimum S for speed balancing to beat queue-length "
+              "balancing (B=1, scale cut at 10)",
+    ))
+    print(report.kv_block("Grid statistics", {
+        "configurations": int(grid.size),
+        "oversubscribed": int((grid > 0).sum()),
+        "fraction with S <= 1": frac_fine,
+        "min S": float(positive.min()),
+        "max S": float(positive.max()),
+        "paper's range": "[0.015, 147]",
+    }, float_fmt="{:.3f}"))

@@ -1,0 +1,124 @@
+"""Figure 5: EP sharing the machine with a cpu-hog pinned to core 0.
+
+"EP sharing with an unrelated task that is pinned to the first core
+(0) on the system.  The task is a compute-intensive 'cpu-hog' that
+uses no memory."
+
+Shape targets:
+
+* One-per-core: "the whole parallel application is slowed by 50%
+  because the cpu-hog always takes half of core 0";
+* PINNED: "initially better because EP gets more of a share of core 0
+  (8/9 at two cores) ... until at 16 cores EP is running at half
+  speed";
+* LOAD: "good because LOAD can balance applications that sleep" (the
+  OpenMP benchmark) -- "there is no static balance possible because the
+  total number of tasks (17) is a prime";
+* SPEED: "near-optimal performance at all core counts, with very low
+  performance variation (at most 6% compared with LOAD of up to 20%)".
+"""
+
+import pytest
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.multiprogram import CpuHog
+from repro.apps.workloads import ep_app
+from repro.harness import report
+from repro.harness.experiment import repeat_run
+from repro.sched.task import WaitMode
+from repro.topology import presets
+
+CORE_COUNTS = [2, 4, 8, 12, 16]
+SEEDS = range(3)
+TOTAL_16_US = 16 * 1_000_000
+SLEEP = WaitPolicy(mode=WaitMode.SLEEP)  # OpenMP-style sleeping waiters
+
+
+def _series(balancer, one_per_core=False):
+    out = {}
+    for n_cores in CORE_COUNTS:
+        threads = n_cores if one_per_core else 16
+        per_thread = TOTAL_16_US // threads
+
+        def factory(system, threads=threads, per_thread=per_thread):
+            return ep_app(system, n_threads=threads, wait_policy=SLEEP,
+                          total_compute_us=per_thread)
+
+        out[n_cores] = repeat_run(
+            presets.tigerton,
+            factory,
+            balancer="pinned" if one_per_core else balancer,
+            cores=n_cores,
+            seeds=SEEDS,
+            corunner_factories=[lambda s: CpuHog(s, core=0)],
+        )
+    return out
+
+
+def run_all():
+    return {
+        "One-per-core": _series("pinned", one_per_core=True),
+        "SPEED": _series("speed"),
+        "LOAD": _series("load"),
+        "PINNED": _series("pinned"),
+    }
+
+
+def test_fig5_cpu_hog(once):
+    series = once(run_all)
+
+    print()
+    print(report.series(
+        "cores", CORE_COUNTS,
+        {
+            name: [vals[c].mean_speedup for c in CORE_COUNTS]
+            for name, vals in series.items()
+        },
+        title="Figure 5: EP + cpu-hog on core 0 (speedup; the hog takes "
+              "half of core 0, so the fair ceiling is cores - 0.5)",
+    ))
+    print(report.series(
+        "cores", CORE_COUNTS,
+        {
+            name: [vals[c].variation_pct for c in CORE_COUNTS]
+            for name, vals in series.items()
+        },
+        title="Run-to-run variation (%)",
+    ))
+
+    one = series["One-per-core"]
+    speed = series["SPEED"]
+    load = series["LOAD"]
+    pinned = series["PINNED"]
+
+    # One-per-core: app held to the core-0 thread at half speed
+    for c in CORE_COUNTS:
+        assert one[c].mean_speedup == pytest.approx(c / 2, rel=0.08)
+
+    # PINNED: degrades from ~(2 / (1 + 1/8))... i.e. mild at low core
+    # counts (hog is 1 of 9 tasks on core 0 at 2 cores) to half speed
+    # at 16 (ceiling c/2); intermediate counts better than one-per-core
+    assert pinned[2].mean_speedup > 1.6  # 8 EP threads vs 1 hog on core 0
+    assert pinned[16].mean_speedup == pytest.approx(8.0, rel=0.08)
+    for c in (2, 4, 8):
+        assert pinned[c].mean_speedup > one[c].mean_speedup
+
+    # LOAD recovers via sleeping waiters and idle pulls
+    assert load[16].mean_speedup > 10.0
+
+    # SPEED near the fair ceiling everywhere, and best or tied.  (LOAD
+    # with sleeping waiters is genuinely strong here -- "performance
+    # with LOAD is good because LOAD can balance applications that
+    # sleep" -- so the dominance margin is a tie band, not a blowout.)
+    for c in CORE_COUNTS:
+        ceiling = c - 0.5
+        assert speed[c].mean_speedup > 0.75 * ceiling
+        assert speed[c].mean_speedup >= 0.9 * max(
+            one[c].mean_speedup, load[c].mean_speedup, pinned[c].mean_speedup
+        )
+
+    # stability: SPEED's spread stays moderate (paper: "at most 6%
+    # compared with LOAD of up to 20%"; our scaled runs amplify the
+    # percentage because absolute times are ~10x shorter)
+    for c in CORE_COUNTS:
+        assert speed[c].variation_pct < 15.0

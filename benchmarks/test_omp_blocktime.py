@@ -1,0 +1,114 @@
+"""Section 6.2's OpenMP workload: KMP_BLOCKTIME interactions.
+
+The paper controls the Intel OpenMP barrier via ``KMP_BLOCKTIME``:
+DEF = spin 200 ms then sleep (the default), INF = poll forever.
+Claims to reproduce:
+
+* "the best performance for the OpenMP workload is obtained when
+  running in polling mode with SPEED ... SPEED achieves a 11% speedup
+  across the whole workload when compared to LB_INF";
+* "Our current implementation of speed balancing does not have
+  mechanisms to handle sleeping processes and SPEED slightly decreases
+  the performance when tasks sleep.  Comparing SB_DEF with LB_DEF
+  shows an overall performance decrease of 3%";
+* class S "behavior at scale is largely determined by barriers":
+  barrier-dominated tiny classes show the largest SPEED-vs-LOAD gaps
+  with polling barriers (the paper: 45% on Barcelona at 16 cores).
+
+The OpenMP flavor uses Table 2's OMP inter-barrier times (coarser than
+UPC's: the Intel runtime aggregates loop barriers).
+"""
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.spmd import SpmdApp
+from repro.apps.workloads import make_nas_app
+from repro.harness import report
+from repro.harness.experiment import repeat_run
+from repro.metrics import stats
+from repro.topology import presets
+
+BENCHES = ["bt.A", "ft.B", "is.C"]
+CORE_COUNTS = [10, 14]
+SEEDS = range(4)
+TOTAL_US = 600_000
+
+DEF = WaitPolicy.omp_default()  # spin 200ms, then sleep
+INF = WaitPolicy.omp_infinite()  # poll forever
+
+
+def run_grid():
+    grid = {}
+    for bench in BENCHES:
+        for n_cores in CORE_COUNTS:
+            for pname, policy in (("def", DEF), ("inf", INF)):
+                for mode in ("speed", "load"):
+                    def factory(system, bench=bench, policy=policy):
+                        return make_nas_app(
+                            system, bench, wait_policy=policy, flavor="omp",
+                            total_compute_us=TOTAL_US,
+                        )
+
+                    grid[(bench, n_cores, pname, mode)] = repeat_run(
+                        presets.tigerton, factory, mode, cores=n_cores,
+                        seeds=SEEDS,
+                    )
+    return grid
+
+
+def run_class_s():
+    """Tiny 'class S': 0.5 ms of compute per 2 ms barrier period."""
+    out = {}
+    for mode in ("speed", "load"):
+        def factory(system):
+            return SpmdApp(
+                system, "classS", 16, work_us=2_000, iterations=50,
+                wait_policy=INF,
+            )
+
+        out[mode] = repeat_run(
+            presets.barcelona, factory, mode, cores=16, seeds=SEEDS
+        )
+    return out
+
+
+def test_omp_blocktime_workload(once):
+    grid, class_s = once(lambda: (run_grid(), run_class_s()))
+
+    rows = []
+    inf_improvements = []
+    def_changes = []
+    for bench in BENCHES:
+        for n_cores in CORE_COUNTS:
+            sb_inf = grid[(bench, n_cores, "inf", "speed")]
+            lb_inf = grid[(bench, n_cores, "inf", "load")]
+            sb_def = grid[(bench, n_cores, "def", "speed")]
+            lb_def = grid[(bench, n_cores, "def", "load")]
+            inf_improvements.append(sb_inf.improvement_avg_pct(lb_inf))
+            def_changes.append(sb_def.improvement_avg_pct(lb_def))
+            rows.append([
+                bench, n_cores,
+                sb_inf.improvement_avg_pct(lb_inf),
+                sb_def.improvement_avg_pct(lb_def),
+            ])
+    print()
+    print(report.table(
+        ["bench", "cores", "SB_INF vs LB_INF %", "SB_DEF vs LB_DEF %"],
+        rows,
+        title="Section 6.2: OpenMP workload, KMP_BLOCKTIME default vs infinite",
+    ))
+    print(report.kv_block("Overall", {
+        "SPEED vs LOAD, polling barriers (paper: +11%)":
+            stats.mean(inf_improvements),
+        "SPEED vs LOAD, default barriers (paper: -3%)":
+            stats.mean(def_changes),
+        "class S on Barcelona, polling (paper: +45%)":
+            class_s["speed"].improvement_avg_pct(class_s["load"]),
+    }))
+
+    # with polling barriers SPEED clearly wins
+    assert stats.mean(inf_improvements) > 5.0
+    # with blocktime-then-sleep barriers the gap shrinks toward zero
+    # (the paper saw a 3% decrease); allow a band around parity
+    assert -12.0 < stats.mean(def_changes) < stats.mean(inf_improvements)
+    # barrier-dominated class S with polling: SPEED >= LOAD
+    assert class_s["speed"].improvement_avg_pct(class_s["load"]) > -5.0

@@ -1,0 +1,65 @@
+"""Performance of the simulator itself (not a paper artifact).
+
+Every other file in ``benchmarks/`` regenerates a table or figure of
+the paper; this one tracks the *cost* of doing so: wall-clock per
+simulated second for representative scenario shapes, and the event
+throughput of the bare engine.  Useful for catching performance
+regressions in the dispatch path (these run multiple rounds, unlike
+the single-shot reproduction benches).
+"""
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.workloads import ep_app, make_nas_app
+from repro.harness.experiment import run_app
+from repro.sched.task import WaitMode
+from repro.sim.engine import Engine
+from repro.topology import presets
+
+YIELD = WaitPolicy(mode=WaitMode.YIELD)
+
+
+def test_perf_engine_event_throughput(benchmark):
+    """Dispatch 100k self-scheduling events."""
+
+    def run():
+        eng = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100_000:
+                eng.schedule(1, tick)
+
+        eng.schedule(0, tick)
+        eng.run()
+        return count[0]
+
+    assert benchmark(run) == 100_000
+
+
+def test_perf_ep_dedicated(benchmark):
+    """EP, 16 threads on 12 cores, 1 simulated second, SPEED."""
+
+    def run():
+        return run_app(
+            presets.tigerton,
+            lambda s: ep_app(s, n_threads=16, wait_policy=YIELD,
+                             total_compute_us=1_000_000),
+            balancer="speed", cores=12, seed=1,
+        ).elapsed_us
+
+    assert benchmark(run) > 0
+
+
+def test_perf_fine_grained_barriers(benchmark):
+    """cg.B-style 4ms barriers: the event-heaviest workload shape."""
+
+    def run():
+        return run_app(
+            presets.tigerton,
+            lambda s: make_nas_app(s, "cg.B", wait_policy=YIELD,
+                                   total_compute_us=200_000),
+            balancer="speed", cores=12, seed=1,
+        ).elapsed_us
+
+    assert benchmark(run) > 0

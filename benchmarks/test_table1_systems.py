@@ -1,0 +1,83 @@
+"""Table 1: the test systems.
+
+Regenerates the machine descriptions from the topology presets and
+verifies every figure the paper's Table 1 lists -- core/socket layout,
+cache sizes and sharing, memory per core, NUMA-ness -- plus the derived
+scheduling-domain structure the balancers rely on.
+"""
+
+from repro.harness import report
+from repro.topology import presets
+from repro.topology.machine import DomainLevel
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+
+
+def build():
+    return presets.tigerton(), presets.barcelona()
+
+
+def test_table1_systems(once):
+    tigerton, barcelona = once(build)
+
+    rows = [
+        ["Processor", "Intel Xeon E7310", "AMD Opteron 8350"],
+        ["Cores", tigerton.n_cores, barcelona.n_cores],
+        ["Sockets x cores", "4 x 4", "4 x 4"],
+        [
+            "L2 cache",
+            "4M per 2 cores",
+            "512K per core",
+        ],
+        [
+            "L3 cache",
+            "none",
+            "2M per socket",
+        ],
+        [
+            "Memory/core",
+            f"{tigerton.mem_per_core_bytes // GB}GB",
+            f"{barcelona.mem_per_core_bytes // GB}GB",
+        ],
+        ["NUMA", tigerton.numa, barcelona.numa],
+    ]
+    print()
+    print(report.table(["Property", "Tigerton", "Barcelona"], rows,
+                       title="Table 1: test systems"))
+
+    # ---- Tigerton ------------------------------------------------------
+    assert tigerton.n_cores == 16 and not tigerton.numa
+    assert {c.socket for c in tigerton.cores} == {0, 1, 2, 3}
+    l2 = tigerton.shared_cache(0, 1)
+    assert l2 is not None and l2.size_bytes == 4 * MB and l2.level == 2
+    assert tigerton.shared_cache(0, 2) is None  # L2 is per core *pair*
+    assert tigerton.largest_cache_of(0).level == 2  # no L3
+    assert tigerton.mem_per_core_bytes == 2 * GB
+
+    # ---- Barcelona -----------------------------------------------------
+    assert barcelona.n_cores == 16 and barcelona.numa
+    assert all(c.numa_node == c.socket for c in barcelona.cores)
+    l3 = barcelona.shared_cache(0, 3)
+    assert l3 is not None and l3.size_bytes == 2 * MB and l3.level == 3
+    private_l2 = [
+        c for c in barcelona.caches if c.level == 2 and len(c.core_ids) == 1
+    ]
+    assert len(private_l2) == 16
+    assert all(c.size_bytes == 512 * KB for c in private_l2)
+    assert barcelona.mem_per_core_bytes == 4 * GB
+
+    # ---- derived domain structure ---------------------------------------
+    # Tigerton: cache pair -> socket -> machine (UMA: top is not NUMA)
+    assert [d.level for d in tigerton.domains_by_core[0]] == [
+        DomainLevel.CACHE, DomainLevel.SOCKET, DomainLevel.MACHINE,
+    ]
+    # Barcelona: socket-wide L3 collapses the socket level; top is NUMA
+    assert [d.level for d in barcelona.domains_by_core[0]] == [
+        DomainLevel.CACHE, DomainLevel.NUMA,
+    ]
+    print()
+    print(tigerton.describe())
+    print()
+    print(barcelona.describe())

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Watch the rotation: ASCII Gantt charts of thread placement.
+
+Runs the motivating 3-threads-on-2-cores scenario under LOAD and under
+SPEED with execution tracing enabled, and renders who ran where.
+Under LOAD one thread pair is locked together for the whole run (the
+"balanced" 2-vs-1 queue Linux will not touch); under SPEED the pair
+membership visibly rotates every couple of balance intervals, which is
+the entire idea of the paper in one picture.
+
+Capitals = compute, lowercase = synchronization waiting, '.' = idle.
+
+Run:  python examples/trace_gantt.py
+"""
+
+from repro.apps.workloads import ep_app
+from repro.balance.linux import LinuxLoadBalancer
+from repro.core.speed_balancer import SpeedBalancer
+from repro.metrics.fairness import rotation_fairness
+from repro.metrics.trace import ascii_gantt
+from repro.system import System
+from repro.topology import presets
+
+TOTAL_US = 1_200_000
+
+
+def run(mode: str):
+    system = System(presets.uniform(2), seed=4, trace=True)
+    system.set_balancer(LinuxLoadBalancer())
+    app = ep_app(system, n_threads=3, total_compute_us=TOTAL_US)
+    if mode == "speed":
+        system.add_user_balancer(SpeedBalancer(app, cores=[0, 1]))
+    app.spawn(cores=[0, 1])
+    system.run_until_done([app])
+    return system, app
+
+
+def main() -> None:
+    for mode in ("load", "speed"):
+        system, app = run(mode)
+        fairness = rotation_fairness(
+            system.trace, [t.tid for t in app.tasks],
+            100_000, TOTAL_US,
+        )
+        print(f"--- {mode.upper()}  (elapsed {app.elapsed_us/1e6:.2f}s, "
+              f"Jain fairness of CPU shares {fairness:.3f}) ---")
+        print(ascii_gantt(system.trace, 2, width=76))
+        print()
+    print("Under LOAD, two threads share core 0 for the entire run at half")
+    print("speed while the third owns core 1 (and then busy-waits at the")
+    print("final barrier, lowercase).  Under SPEED the letters visibly")
+    print("rotate between the cores every ~200 ms, every thread progresses")
+    print("at ~2/3 speed, and the run ends earlier.  The Jain index")
+    print("quantifies the difference.")
+
+
+if __name__ == "__main__":
+    main()

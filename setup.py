@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e .` works with older setuptools.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro: a reproduction of *Load Balancing on Speed* (PPoPP 2010).
+
+Hofmeyr, Iancu and Blagojevic propose **speed balancing**: a
+user-level load balancer for SPMD parallel applications that equalizes
+the *speed* (executed time / wall time) of an application's threads by
+pulling threads from slow cores to fast ones, instead of equalizing
+run-queue lengths the way Linux, FreeBSD and Windows do.
+
+This package contains a from-scratch implementation of the algorithm
+and of everything it is evaluated against, on top of a deterministic
+discrete-event multicore simulator (the substitution for the paper's
+real 16-core machines; see DESIGN.md):
+
+* :mod:`repro.sim` -- the event engine and seeded rng;
+* :mod:`repro.topology` -- machines (Tigerton, Barcelona, Nehalem,
+  asymmetric), caches, scheduling domains;
+* :mod:`repro.sched` -- tasks and the per-core CFS scheduler;
+* :mod:`repro.balance` -- the baselines: Linux load balancing,
+  FreeBSD ULE, DWRR, static pinning;
+* :mod:`repro.core` -- **the contribution**: the speed metric, the
+  speed balancer and the Section 4 analytical model;
+* :mod:`repro.apps` -- SPMD applications, barrier wait policies
+  (spin / yield / sleep / KMP_BLOCKTIME), the NAS-like catalog,
+  cpu-hog and make co-runners;
+* :mod:`repro.mem` -- migration pricing and NUMA residence;
+* :mod:`repro.metrics`, :mod:`repro.harness` -- results, repeats,
+  scenarios and text reports for every figure and table of the paper.
+
+Quickstart
+----------
+>>> from repro.harness import run_app
+>>> from repro.apps.workloads import ep_app
+>>> from repro.topology import presets
+>>> res = run_app(
+...     presets.tigerton,
+...     lambda system: ep_app(system, n_threads=16, total_compute_us=100_000),
+...     balancer="speed",
+...     cores=12,
+... )
+>>> 0 < res.speedup <= 12
+True
+"""
+
+from repro.system import System
+from repro.core.speed_balancer import SpeedBalancer, SpeedBalancerConfig
+from repro.harness.experiment import repeat_run, run_app
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SpeedBalancer",
+    "SpeedBalancerConfig",
+    "System",
+    "__version__",
+    "repeat_run",
+    "run_app",
+]

@@ -1,0 +1,42 @@
+"""Application models: SPMD programs, barriers, workloads, co-runners.
+
+The paper's workloads are SPMD scientific applications (NAS Parallel
+Benchmarks in UPC, OpenMP and MPI) plus multiprogrammed co-runners
+(a pinned cpu-hog, ``make -j``).  Their interaction with load balancing
+happens "largely ... through the implementation of synchronization
+operations" (Section 3) -- so this package models the applications as
+compute/barrier phase sequences and the barriers with the exact wait
+behaviours the paper contrasts:
+
+* :mod:`repro.apps.barriers` -- SPIN / YIELD / SLEEP / BLOCKTIME
+  barrier waiting, matching UPC polling mode, UPC/MPI ``sched_yield``,
+  the paper's modified ``usleep(1)`` runtime, and Intel OpenMP's
+  ``KMP_BLOCKTIME`` behaviour respectively;
+* :mod:`repro.apps.spmd` -- the SPMD application: N threads, iterations
+  of compute-then-barrier, optional per-thread imbalance;
+* :mod:`repro.apps.workloads` -- the NAS-like catalog parameterized by
+  Table 2 (per-core RSS, inter-barrier times);
+* :mod:`repro.apps.multiprogram` -- cpu-hog and make-like co-runners
+  for the Section 6.3 sharing experiments.
+"""
+
+from repro.apps.barriers import Barrier, WaitPolicy
+from repro.apps.collectives import CollectiveSpmdApp
+from repro.apps.locks import LockedCounterApp, Mutex
+from repro.apps.spmd import SpmdApp
+from repro.apps.workloads import NAS_CATALOG, NasBenchmark, make_nas_app
+from repro.apps.multiprogram import CpuHog, MakeWorkload
+
+__all__ = [
+    "Barrier",
+    "CollectiveSpmdApp",
+    "CpuHog",
+    "LockedCounterApp",
+    "MakeWorkload",
+    "Mutex",
+    "NAS_CATALOG",
+    "NasBenchmark",
+    "SpmdApp",
+    "WaitPolicy",
+    "make_nas_app",
+]

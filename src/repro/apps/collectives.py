@@ -1,0 +1,156 @@
+"""Collective operations: reduction and broadcast.
+
+Section 3 lists "collectives (e.g. reduction or broadcast)" alongside
+locks and barriers as the synchronization operations through which
+applications interact with load balancing.  Both are modeled as a
+barrier with an attached *root phase*:
+
+* **Reduction**: all threads arrive; the *root* then combines the
+  contributions (``root_work_us`` of serial compute) while the others
+  wait; the result releases everyone.  The serial combine is the
+  classic scalability tail -- and it makes the root's core look fast
+  or slow in exactly the way speed balancing measures.
+* **Broadcast**: the root produces the payload (``root_work_us``),
+  then everyone proceeds; non-root threads that arrive early wait with
+  the configured policy.
+
+Implementation: both reuse the core dispatch loop's barrier protocol
+(``arrive`` / ``spin_timeout``), inserting the root's extra compute as
+a program-level action via :class:`CollectiveSpmdApp`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.apps.barriers import Barrier, WaitPolicy
+from repro.sched.task import Action, Program, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+__all__ = ["CollectiveSpmdApp"]
+
+
+class _CollectiveProgram(Program):
+    """Per-iteration: compute, arrive, (root: combine), release-gated exit.
+
+    The collective is realized as two barriers: everyone meets at the
+    *gather* barrier; the root then runs the serial root phase; the
+    *release* barrier opens when the root arrives after combining.
+    Non-root threads pass through the release barrier directly.
+    """
+
+    def __init__(self, app: "CollectiveSpmdApp", rank: int):
+        self.app = app
+        self.rank = rank
+        self.iteration = 0
+        self._stage = 0  # 0 compute, 1 gather, 2 root work, 3 release
+
+    def next_action(self, task: Task, now: int) -> Action:
+        app = self.app
+        is_root = self.rank == app.root
+        while True:
+            if self.iteration >= app.iterations:
+                return Action.exit()
+            stage = self._stage
+            self._stage += 1
+            if stage == 0:
+                return Action.compute(app.work_for(self.rank))
+            if stage == 1:
+                return Action.wait(app.gather[self.iteration])
+            if stage == 2:
+                if is_root and app.root_work_us > 0:
+                    return Action.compute(app.root_work_us)
+                continue  # non-root: straight to the release barrier
+            # stage 3: release gate, then next iteration
+            self._stage = 0
+            self.iteration += 1
+            if app.root_work_us > 0:
+                return Action.wait(app.release[self.iteration - 1])
+            continue  # no root phase: the gather barrier was enough
+
+
+class CollectiveSpmdApp:
+    """SPMD threads synchronizing through reductions/broadcasts.
+
+    ``kind="reduction"`` runs the root phase *after* the gather (all
+    contributions present, root combines); ``kind="broadcast"`` is
+    structurally identical here -- the root produces and everyone waits
+    for the release -- the difference being conventional (payload flows
+    the other way), so one implementation serves both.
+    """
+
+    def __init__(
+        self,
+        system: "System",
+        name: str = "reduce",
+        n_threads: int = 4,
+        iterations: int = 5,
+        work_us: int | Sequence[int] = 10_000,
+        root_work_us: int = 1_000,
+        root: int = 0,
+        wait_policy: Optional[WaitPolicy] = None,
+        kind: str = "reduction",
+    ):
+        if kind not in ("reduction", "broadcast"):
+            raise ValueError("kind must be 'reduction' or 'broadcast'")
+        if not (0 <= root < n_threads):
+            raise ValueError("root out of range")
+        self.system = system
+        self.name = name
+        self.n_threads = n_threads
+        self.iterations = iterations
+        self._work = work_us
+        self.root_work_us = root_work_us
+        self.root = root
+        self.kind = kind
+        policy = wait_policy or WaitPolicy()
+        # one pair of single-use barriers per iteration keeps the
+        # generation bookkeeping trivial and the root phase strict
+        self.gather = [
+            Barrier(system, n_threads, policy, name=f"{name}.g{i}")
+            for i in range(iterations)
+        ]
+        self.release = [
+            Barrier(system, n_threads, policy, name=f"{name}.r{i}")
+            for i in range(iterations)
+        ]
+        self.tasks = [
+            Task(program=_CollectiveProgram(self, rank), name=f"{name}.t{rank}",
+                 app_id=name)
+            for rank in range(n_threads)
+        ]
+        self.spawned = False
+
+    # ------------------------------------------------------------------
+    def work_for(self, rank: int) -> int:
+        if isinstance(self._work, (list, tuple)):
+            return int(self._work[rank])
+        return int(self._work)
+
+    def total_work_us(self) -> int:
+        per_iter = sum(self.work_for(r) for r in range(self.n_threads))
+        return self.iterations * (per_iter + self.root_work_us)
+
+    def spawn(self, at: int = 0, cores=None) -> None:
+        if self.spawned:
+            raise RuntimeError(f"{self.name} already spawned")
+        self.spawned = True
+        if cores is not None:
+            allowed = frozenset(cores)
+            for t in self.tasks:
+                t.pin(allowed)
+        self.system.spawn_burst(self.tasks, at=at)
+
+    @property
+    def done(self) -> bool:
+        return all(t.finished_at is not None for t in self.tasks)
+
+    @property
+    def elapsed_us(self) -> int:
+        if not self.done:
+            raise RuntimeError(f"{self.name} unfinished")
+        return max(t.finished_at for t in self.tasks) - min(
+            t.started_at for t in self.tasks
+        )

@@ -1,0 +1,152 @@
+"""Multiprogrammed co-runners for the sharing experiments (Section 6.3).
+
+* :class:`CpuHog` -- "a compute-intensive 'cpu-hog' that uses no
+  memory", pinned to a core, used in Figure 5 to show how each
+  balancer copes with an unrelated task stealing half of core 0.
+* :class:`MakeWorkload` -- a ``make -j``-like spawner, "which uses both
+  memory and I/O and spawns multiple subprocesses" (Figure 6).  Jobs
+  arrive in waves (dependency levels); each job alternates compute
+  bursts with short I/O sleeps, so its tasks enter and leave run queues
+  continuously -- the realistic background the paper uses to stress
+  the balancers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sched.task import Action, Program, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+__all__ = ["CpuHog", "MakeWorkload"]
+
+MB = 1 << 20
+
+
+class _HogProgram(Program):
+    """Compute forever in large chunks (until the simulation stops)."""
+
+    def __init__(self, chunk_us: int = 1_000_000):
+        self.chunk_us = chunk_us
+
+    def next_action(self, task: Task, now: int) -> Action:
+        return Action.compute(self.chunk_us)
+
+
+class CpuHog:
+    """An unrelated, infinitely compute-bound task pinned to one core."""
+
+    def __init__(self, system: "System", core: int = 0, nice: int = 0):
+        self.system = system
+        self.task = Task(
+            program=_HogProgram(),
+            name=f"cpu-hog.c{core}",
+            nice=nice,
+            footprint_bytes=0,
+            app_id=None,
+        )
+        self.task.pin(frozenset({core}))
+        self.core = core
+
+    def spawn(self, at: int = 0) -> None:
+        self.system.spawn_burst([self.task], at=at)
+
+
+class _MakeJobProgram(Program):
+    """One compile job: bursts of compute separated by I/O waits."""
+
+    def __init__(self, bursts: list[tuple[int, int]]):
+        # list of (compute_us, io_sleep_us) pairs
+        self.bursts = bursts
+        self._i = 0
+
+    def next_action(self, task: Task, now: int) -> Action:
+        if self._i >= 2 * len(self.bursts):
+            return Action.exit()
+        i = self._i
+        self._i += 1
+        compute, io = self.bursts[i // 2]
+        if i % 2 == 0:
+            return Action.compute(compute)
+        if io <= 0:
+            return self.next_action(task, now)
+        return Action.sleep(io)
+
+
+class MakeWorkload:
+    """A ``make -j N``-like job stream.
+
+    ``jobs`` total jobs are released in waves of at most ``j`` (the
+    parallelism flag); a new wave starts when the previous one
+    finishes, approximating dependency levels in a build graph.  Job
+    durations and I/O fractions are drawn from the run's rng streams so
+    repeats vary realistically across seeds.
+    """
+
+    def __init__(
+        self,
+        system: "System",
+        j: int = 16,
+        jobs: int = 64,
+        mean_job_us: int = 150_000,
+        io_fraction: float = 0.25,
+        footprint_bytes: int = 32 * MB,
+    ):
+        self.system = system
+        self.j = j
+        self.n_jobs = jobs
+        self.mean_job_us = mean_job_us
+        self.io_fraction = io_fraction
+        self.footprint_bytes = footprint_bytes
+        self.tasks: list[Task] = []
+        self._spawned = 0
+
+    # ------------------------------------------------------------------
+    def _new_job(self) -> Task:
+        rng = self.system.rng
+        idx = self._spawned
+        self._spawned += 1
+        total = max(
+            10_000, int(rng.gauss("make.dur", self.mean_job_us, self.mean_job_us * 0.5))
+        )
+        n_bursts = rng.randint("make.bursts", 2, 6)
+        per = total // n_bursts
+        io = int(per * self.io_fraction / max(1e-9, 1 - self.io_fraction))
+        bursts = [(per, io) for _ in range(n_bursts)]
+        task = Task(
+            program=_MakeJobProgram(bursts),
+            name=f"make.job{idx}",
+            footprint_bytes=self.footprint_bytes,
+            app_id=None,
+            mem_intensity=0.2,
+        )
+        self.tasks.append(task)
+        return task
+
+    def spawn(self, at: int = 0) -> None:
+        """Release the first wave; later waves chain on completions."""
+        self.system.engine.schedule_at(at, self._next_wave, "make.wave")
+
+    def _next_wave(self) -> None:
+        remaining = self.n_jobs - self._spawned
+        if remaining <= 0:
+            return
+        wave = [self._new_job() for _ in range(min(self.j, remaining))]
+        self._pending = set(t.tid for t in wave)
+        for t in wave:
+            self.system.on_exit(t, self._job_done)
+        self.system.spawn_burst(wave, at=self.system.engine.now)
+
+    def _job_done(self, task: Task) -> None:
+        self._pending.discard(task.tid)
+        if not self._pending:
+            self.system.engine.schedule(1000, self._next_wave, "make.wave")
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._spawned >= self.n_jobs and all(
+            t.finished_at is not None for t in self.tasks
+        )

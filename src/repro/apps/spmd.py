@@ -1,0 +1,197 @@
+"""The SPMD application model.
+
+"The vast majority of existing implementations of parallel scientific
+applications use the SPMD programming model: there are phases of
+computation followed by barrier synchronization." (Section 3.)
+
+:class:`SpmdApp` is exactly that: ``n_threads`` tasks, each executing
+``iterations`` of *compute W microseconds, wait at the barrier*, then a
+final barrier and exit.  The per-iteration work can vary per thread
+(load imbalance) and per iteration (transient behaviour); the paper's
+benchmarks are balanced, so defaults are uniform.
+
+The model deliberately contravenes the assumptions of OS load
+balancers in the same way real SPMD codes do: threads are logically
+related, synchronize their execution, have equally long life spans, and
+the application performance is that of its *slowest* thread.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
+
+from repro.apps.barriers import Barrier, WaitPolicy
+from repro.sched.task import Action, Program, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+__all__ = ["SpmdApp", "SpmdThreadProgram"]
+
+WorkSpec = Union[int, Sequence[int], Callable[[int, int], int]]
+
+
+class SpmdThreadProgram(Program):
+    """Program of one SPMD thread: (compute, barrier) x iterations.
+
+    Steps alternate compute (even) and barrier (odd) slots; barrier
+    slots are skipped when the app disables per-iteration
+    synchronization (EP-style), except for the final barrier.
+    """
+
+    def __init__(self, app: "SpmdApp", rank: int):
+        self.app = app
+        self.rank = rank
+        self._step = 0
+
+    @property
+    def iteration(self) -> int:
+        """Current compute iteration index (for introspection)."""
+        return min(self._step // 2, self.app.iterations)
+
+    def next_action(self, task: Task, now: int) -> Action:
+        app = self.app
+        while True:
+            step = self._step
+            self._step += 1
+            if step >= 2 * app.iterations:
+                return Action.exit()
+            if step % 2 == 0:
+                return Action.compute(app.work_for(self.rank, step // 2))
+            is_last = step == 2 * app.iterations - 1
+            if app.barrier_every_iteration or (is_last and app.final_barrier):
+                return Action.wait(app.barrier)
+            # synchronization disabled for this slot: fall through
+
+
+class SpmdApp:
+    """An SPMD parallel application under test.
+
+    Parameters
+    ----------
+    system:
+        The simulated machine to run on.
+    name:
+        Label (``"ep.C"``); also the ``app_id`` of its tasks.
+    n_threads:
+        Degree of parallelism the application was *compiled* with
+        (static, as the paper emphasizes; e.g. always 16 for Figure 3
+        regardless of how many cores are allocated).
+    work_us:
+        Per-iteration compute in microseconds at nominal clock: a
+        scalar (uniform SPMD), a per-rank sequence, or a callable
+        ``(rank, iteration) -> us``.
+    iterations:
+        Number of compute/barrier phases.
+    wait_policy:
+        Barrier wait behaviour (see :class:`repro.apps.barriers.WaitPolicy`).
+    barrier_every_iteration:
+        False models EP-style embarrassing parallelism: threads compute
+        all iterations back to back and only synchronize at the final
+        barrier.
+    footprint_bytes / mem_intensity:
+        Per-thread resident set and bandwidth demand (Table 2 feeds
+        these for the NAS catalog).
+    """
+
+    def __init__(
+        self,
+        system: "System",
+        name: str,
+        n_threads: int,
+        work_us: WorkSpec,
+        iterations: int = 1,
+        wait_policy: Optional[WaitPolicy] = None,
+        barrier_every_iteration: bool = True,
+        final_barrier: bool = True,
+        footprint_bytes: int = 0,
+        mem_intensity: float = 0.0,
+    ):
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.system = system
+        self.name = name
+        self.n_threads = n_threads
+        self.iterations = iterations
+        self._work = work_us
+        self.wait_policy = wait_policy or WaitPolicy()
+        self.barrier_every_iteration = barrier_every_iteration
+        self.final_barrier = final_barrier
+        self.barrier = Barrier(system, n_threads, self.wait_policy, name=f"{name}.bar")
+        self.tasks: list[Task] = []
+        for rank in range(n_threads):
+            t = Task(
+                program=SpmdThreadProgram(self, rank),
+                name=f"{name}.t{rank}",
+                footprint_bytes=footprint_bytes,
+                app_id=name,
+                mem_intensity=mem_intensity,
+            )
+            self.tasks.append(t)
+        self.spawned = False
+
+    # ------------------------------------------------------------------
+    def work_for(self, rank: int, iteration: int) -> int:
+        w = self._work
+        if callable(w):
+            return int(w(rank, iteration))
+        if isinstance(w, (list, tuple)):
+            return int(w[rank])
+        return int(w)
+
+    def total_work_us(self) -> int:
+        """Serial compute demand: the sum of all threads' work."""
+        return sum(
+            self.work_for(r, i)
+            for r in range(self.n_threads)
+            for i in range(self.iterations)
+        )
+
+    # ------------------------------------------------------------------
+    def spawn(self, at: int = 0, cores: Optional[Sequence[int]] = None) -> None:
+        """Create the application's tasks at simulation time ``at``.
+
+        ``cores`` restricts the threads to a core subset -- the
+        ``taskset`` the paper uses to run on 1..16 cores ("We force
+        Linux to balance over a subset of cores using the taskset
+        command").  Placement within the subset is the balancer's job.
+        """
+        if self.spawned:
+            raise RuntimeError(f"{self.name} already spawned")
+        self.spawned = True
+        allowed = frozenset(cores) if cores is not None else None
+        for t in self.tasks:
+            if allowed is not None:
+                t.pin(allowed)
+        self.system.spawn_burst(self.tasks, at=at)
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return all(t.finished_at is not None for t in self.tasks)
+
+    @property
+    def finish_time(self) -> int:
+        """Completion time of the slowest thread (SPMD semantics)."""
+        if not self.done:
+            raise RuntimeError(f"{self.name} has unfinished threads")
+        return max(t.finished_at for t in self.tasks)  # type: ignore[type-var]
+
+    @property
+    def start_time(self) -> int:
+        starts = [t.started_at for t in self.tasks if t.started_at is not None]
+        if len(starts) != len(self.tasks):
+            raise RuntimeError(f"{self.name} has unstarted threads")
+        return min(starts)
+
+    @property
+    def elapsed_us(self) -> int:
+        return self.finish_time - self.start_time
+
+    def migrations(self) -> int:
+        return sum(t.migrations for t in self.tasks)
+
+    def __repr__(self) -> str:
+        return f"<SpmdApp {self.name} threads={self.n_threads} iters={self.iterations}>"

@@ -1,0 +1,174 @@
+"""NAS-Parallel-Benchmark-like workload catalog (Table 2).
+
+The paper evaluates UPC/OpenMP/MPI implementations of the NAS Parallel
+Benchmarks.  We model each benchmark as an SPMD app parameterized by
+the quantities Table 2 reports -- per-core resident set size and
+inter-barrier compute time -- plus a memory-intensity coefficient that
+reproduces the measured 16-core speedups through the bandwidth
+contention model.
+
+Table 2 of the paper (selected NPB; RSS is average per core):
+
+======  =====  ========  ==================  =====================
+bench   class  RSS (GB)  speedup @16 cores    inter-barrier (msec)
+                         Tigerton/Barcelona   UPC  /  OpenMP
+======  =====  ========  ==================  =====================
+bt      A      0.4        4.6 / 10.0          ~10  /  ~20   (+)
+cg      B      1.0        ~5  / ~9    (+)      4   /   4
+ep      C      ~0         ~16 / ~16   (+)     none (final only)
+ft      B      5.6        5.3 / 10.5          73   / 206
+is      C      3.1        4.8 /  8.4          44   /  63
+sp      A      0.1        7.2 / 12.4           2   /   ~5   (+)
+======  =====  ========  ==================  =====================
+
+(+) the scanned table in the paper is partially garbled; entries
+marked (+) are plausible values consistent with the prose (cg.B
+"performs barrier synchronization every 4 ms"; EP "uses negligible
+memory, no synchronization"; all benchmarks "scale up to 16 cores").
+The substitution is recorded in EXPERIMENTS.md.
+
+Durations are scaled: the paper's runs span 2..80 s; simulating tens
+of wall-seconds of fine-grained barriers is wasteful, so the catalog
+targets a default ~2 s of per-thread compute with the *same*
+inter-barrier granularity, which preserves every balancing-relevant
+ratio (S vs balance interval B, migration cost vs quantum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.spmd import SpmdApp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+__all__ = [
+    "FULL_CATALOG",
+    "NAS_CATALOG",
+    "NAS_EXTENDED_CATALOG",
+    "NasBenchmark",
+    "ep_app",
+    "make_nas_app",
+]
+
+GB = 1 << 30
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class NasBenchmark:
+    """Catalog entry describing one NAS benchmark configuration."""
+
+    name: str  # "ft.B"
+    rss_per_core_gb: float
+    inter_barrier_upc_us: Optional[int]  # None = no inter-iteration barriers (EP)
+    inter_barrier_omp_us: Optional[int]
+    mem_intensity: float
+    #: paper-reported 16-core speedups (for EXPERIMENTS.md comparison)
+    paper_speedup16_tigerton: float
+    paper_speedup16_barcelona: float
+
+    def footprint_bytes(self) -> int:
+        return int(self.rss_per_core_gb * GB)
+
+    def inter_barrier_us(self, flavor: str) -> Optional[int]:
+        if flavor == "omp":
+            return self.inter_barrier_omp_us
+        return self.inter_barrier_upc_us
+
+
+#: Table 2 (plus EP and cg.B from the prose); keyed by "name.class".
+NAS_CATALOG: dict[str, NasBenchmark] = {
+    "bt.A": NasBenchmark("bt.A", 0.4, 10_000, 20_000, 0.95, 4.6, 10.0),
+    "cg.B": NasBenchmark("cg.B", 1.0, 4_000, 4_000, 0.80, 5.0, 9.0),
+    "ep.C": NasBenchmark("ep.C", 0.001, None, None, 0.0, 15.8, 15.8),
+    "ft.B": NasBenchmark("ft.B", 5.6, 73_000, 206_000, 0.90, 5.3, 10.5),
+    "is.C": NasBenchmark("is.C", 3.1, 44_000, 63_000, 0.85, 4.8, 8.4),
+    "sp.A": NasBenchmark("sp.A", 0.1, 2_000, 5_000, 0.68, 7.2, 12.4),
+}
+
+#: The paper's workload spans the full NPB suite ("classes S, A, B, C")
+#: but Table 2 prints only a "representative sample".  These extra
+#: entries let users run the remaining common NPB members; their
+#: parameters are EXTRAPOLATED (from NPB documentation and the paper's
+#: class-size trends), not taken from the paper -- hence the separate
+#: catalog and the None paper-speedup markers are avoided by reusing
+#: nearest-neighbour calibration (mg ~ cg-like sparse memory traffic,
+#: lu ~ bt-like pipelined solver at finer granularity).
+NAS_EXTENDED_CATALOG: dict[str, NasBenchmark] = {
+    "mg.B": NasBenchmark("mg.B", 3.4, 12_000, 26_000, 0.88, 5.0, 9.5),
+    "lu.A": NasBenchmark("lu.A", 0.3, 1_500, 3_000, 0.70, 6.8, 11.5),
+}
+
+#: union view used by :func:`make_nas_app` lookups
+FULL_CATALOG: dict[str, NasBenchmark] = {**NAS_CATALOG, **NAS_EXTENDED_CATALOG}
+
+
+def make_nas_app(
+    system: "System",
+    bench: str | NasBenchmark,
+    n_threads: int = 16,
+    wait_policy: Optional[WaitPolicy] = None,
+    flavor: str = "upc",
+    total_compute_us: int = 2_000_000,
+) -> SpmdApp:
+    """Instantiate a catalog benchmark as an :class:`SpmdApp`.
+
+    ``total_compute_us`` is the per-thread serial compute demand; the
+    iteration count follows from the benchmark's inter-barrier time.
+    EP (no inter-iteration synchronization) becomes one long compute
+    segment with a single final barrier.
+    """
+    entry = FULL_CATALOG[bench] if isinstance(bench, str) else bench
+    ibt = entry.inter_barrier_us(flavor)
+    if ibt is None:
+        iterations, work, sync = 1, total_compute_us, False
+    else:
+        iterations = max(1, total_compute_us // ibt)
+        work, sync = ibt, True
+    return SpmdApp(
+        system=system,
+        name=entry.name,
+        n_threads=n_threads,
+        work_us=work,
+        iterations=iterations,
+        wait_policy=wait_policy,
+        barrier_every_iteration=sync,
+        final_barrier=True,
+        footprint_bytes=entry.footprint_bytes(),
+        mem_intensity=entry.mem_intensity,
+    )
+
+
+def ep_app(
+    system: "System",
+    n_threads: int = 16,
+    wait_policy: Optional[WaitPolicy] = None,
+    total_compute_us: int = 2_000_000,
+    barrier_period_us: Optional[int] = None,
+) -> SpmdApp:
+    """The EP benchmark, optionally modified with periodic barriers.
+
+    ``barrier_period_us`` reproduces the Section 6.1 modification: "we
+    have modified its inner loop to execute an increasing number of
+    barriers" -- the knob behind Figure 2.
+    """
+    if barrier_period_us is None:
+        return make_nas_app(
+            system, "ep.C", n_threads, wait_policy, total_compute_us=total_compute_us
+        )
+    iterations = max(1, total_compute_us // barrier_period_us)
+    return SpmdApp(
+        system=system,
+        name="ep.mod",
+        n_threads=n_threads,
+        work_us=barrier_period_us,
+        iterations=iterations,
+        wait_policy=wait_policy,
+        barrier_every_iteration=True,
+        footprint_bytes=1 * MB,
+        mem_intensity=0.0,
+    )

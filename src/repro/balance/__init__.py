@@ -1,0 +1,39 @@
+"""Kernel-level load balancers: the *space* dimension baselines.
+
+The paper compares speed balancing against the balancing designs found
+in contemporary OSes (Section 2):
+
+* :mod:`repro.balance.linux` -- the Linux 2.6.28 CFS load balancer:
+  queue-length balancing over the scheduling-domain hierarchy, with
+  imbalance percentage, idle/busy intervals, cache-hot resistance and
+  new-idle pulls ("LOAD" in the paper's figures);
+* :mod:`repro.balance.ule` -- the FreeBSD 7.2 ULE scheduler's push
+  (twice a second) and idle-steal migration;
+* :mod:`repro.balance.dwrr` -- Distributed Weighted Round-Robin
+  (Li et al.), round-based global fairness;
+* :mod:`repro.balance.pinned` -- static balancing: threads pinned
+  round-robin ("PINNED" / "One-per-core");
+* :mod:`repro.balance.base` -- the common interface and a no-op
+  balancer.
+
+The paper's own contribution, the user-level speed balancer, lives in
+:mod:`repro.core` -- it runs *on top of* one of these (Linux by
+default), exactly as the real ``speedbalancer`` coexists with the
+kernel balancer.
+"""
+
+from repro.balance.base import KernelBalancer, NoBalancer
+from repro.balance.pinned import PinnedBalancer
+from repro.balance.linux import LinuxLoadBalancer, LinuxParams
+from repro.balance.ule import UleBalancer
+from repro.balance.dwrr import DwrrBalancer
+
+__all__ = [
+    "DwrrBalancer",
+    "KernelBalancer",
+    "LinuxLoadBalancer",
+    "LinuxParams",
+    "NoBalancer",
+    "PinnedBalancer",
+    "UleBalancer",
+]

@@ -1,0 +1,80 @@
+"""Common interface for kernel-level balancers.
+
+A kernel balancer owns three decisions:
+
+* **fork placement** -- which core a newly created task starts on.
+  All implementations here see the *stale* burst snapshot the system
+  hands them (paper footnote 1: "at task start-up Linux tries to
+  assign it an idle core, but the idleness information is not updated
+  when multiple tasks start simultaneously");
+* **wake placement** -- where a sleeper resumes (default: its previous
+  core, as Linux 2.6 mostly does);
+* **periodic / event-driven migration** -- installed in
+  :meth:`attach` via engine timers and core idle callbacks.
+
+``on_charge`` is a per-charge accounting hook; only DWRR (round-slice
+tracking) uses it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sched.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.core import CoreSim
+    from repro.system import System
+
+__all__ = ["KernelBalancer", "NoBalancer"]
+
+
+class KernelBalancer:
+    """Base class: least-loaded placement, no migration."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.system: Optional["System"] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, system: "System") -> None:
+        """Install timers/callbacks.  Subclasses call super().attach."""
+        self.system = system
+
+    # ------------------------------------------------------------------
+    def place_new_task(self, task: Task, snapshot: list[int]) -> int:
+        """Fork placement from a (stale) load snapshot.
+
+        Least-loaded allowed core; ties broken randomly, which is what
+        spreads the burst-placement race across repeats and gives the
+        queue-length balancers their run-to-run variance.
+        """
+        assert self.system is not None
+        allowed = self.system._allowed(task)
+        best = min(snapshot[c] for c in allowed)
+        candidates = [c for c in allowed if snapshot[c] == best]
+        if len(candidates) == 1:
+            return candidates[0]
+        return self.system.rng.choice(f"{self.name}.place", candidates)
+
+    def place_woken(self, task: Task, prev: int) -> int:
+        """Wake placement; default: resume on the previous core."""
+        return prev
+
+    def on_charge(self, core: "CoreSim", task: Task, dt: int) -> None:
+        """Accounting hook fired whenever execution time is charged."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class NoBalancer(KernelBalancer):
+    """Placement only, never migrates.
+
+    Unlike :class:`repro.balance.pinned.PinnedBalancer` the initial
+    placement is load-based (with the stale-snapshot race), so this
+    isolates the effect of *migration* from the effect of *placement*.
+    """
+
+    name = "none"

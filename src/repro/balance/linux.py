@@ -1,0 +1,241 @@
+"""The Linux 2.6.28 load balancer ("LOAD" in the paper's figures).
+
+Faithful to the description in Section 2 of the paper:
+
+* load = run-queue length (``nr_running``), balanced over the
+  scheduling-domain hierarchy (SMT -> cache -> socket -> NUMA);
+* each core periodically pulls from the busiest queue of the busiest
+  group in each of its domains, at a frequency that decreases up the
+  hierarchy (idle cores: every 1-2 timer ticks on UMA, 64 ms for NUMA;
+  busy cores: 64-128 ms SMT, 64-256 ms shared package, 256-1024 ms
+  NUMA);
+* an *imbalance percentage* (typically 125%, 110% for SMT) gates
+  migration, and integer arithmetic means "if the balance cannot be
+  improved (e.g. one group has 3 tasks and the other 2 tasks) Linux
+  will not migrate any tasks" -- the very behaviour that motivates
+  speed balancing;
+* the balancer never migrates the running task and resists migrating
+  "cache hot" tasks (ran within ~5 ms), giving in after repeated
+  failed attempts;
+* a core that becomes idle immediately tries to pull (new-idle
+  balancing) -- this is what lets LOAD cope with applications whose
+  waiting threads *sleep* (Section 6.2), and what yield-mode waiters
+  defeat by keeping every queue visibly non-empty.
+
+Simplification vs the kernel: the escalation path that wakes the
+kernel migration thread to push work to an idle core is subsumed by
+new-idle pulls (an idle core pulls immediately, including cache-hot
+tasks after failures), which reaches the same steady states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.balance.base import KernelBalancer
+from repro.sched.task import Task, TaskState
+from repro.topology.machine import DomainLevel, SchedDomain
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.core import CoreSim
+    from repro.system import System
+
+__all__ = ["LinuxParams", "LinuxLoadBalancer"]
+
+
+def _default_busy_intervals() -> dict[DomainLevel, int]:
+    # midpoints of the ranges the paper quotes for busy cores
+    return {
+        DomainLevel.SMT: 64_000,
+        DomainLevel.CACHE: 128_000,
+        DomainLevel.SOCKET: 192_000,
+        DomainLevel.MACHINE: 256_000,
+        DomainLevel.NUMA: 512_000,
+    }
+
+
+def _default_idle_intervals() -> dict[DomainLevel, int]:
+    # "every 1 to 2 timer ticks (typically 10ms on a server) on UMA and
+    # every 64ms on NUMA"
+    return {
+        DomainLevel.SMT: 10_000,
+        DomainLevel.CACHE: 10_000,
+        DomainLevel.SOCKET: 10_000,
+        DomainLevel.MACHINE: 10_000,
+        DomainLevel.NUMA: 64_000,
+    }
+
+
+def _default_imbalance_pct() -> dict[DomainLevel, int]:
+    # "typically 125% for most scheduling domains, with SMT usually
+    # being lower at 110%"
+    return {
+        DomainLevel.SMT: 110,
+        DomainLevel.CACHE: 125,
+        DomainLevel.SOCKET: 125,
+        DomainLevel.MACHINE: 125,
+        DomainLevel.NUMA: 125,
+    }
+
+
+@dataclass
+class LinuxParams:
+    """Tunables of the Linux balancer model (the /proc knobs)."""
+
+    busy_interval_us: dict[DomainLevel, int] = field(default_factory=_default_busy_intervals)
+    idle_interval_us: dict[DomainLevel, int] = field(default_factory=_default_idle_intervals)
+    imbalance_pct: dict[DomainLevel, int] = field(default_factory=_default_imbalance_pct)
+    #: cache-hot window (paper: "executed recently (~5ms) on the core")
+    cache_hot_us: int = 5_000
+    #: failed balance attempts before cache-hot tasks become eligible
+    #: (paper: "typically between one and two")
+    hot_resist_attempts: int = 2
+    #: base tick driving the periodic balancer check
+    tick_us: int = 10_000
+
+
+class LinuxLoadBalancer(KernelBalancer):
+    """Queue-length balancing over the scheduling-domain hierarchy."""
+
+    name = "linux"
+
+    def __init__(self, params: Optional[LinuxParams] = None):
+        super().__init__()
+        self.params = params or LinuxParams()
+        self._last_balance: dict[tuple[int, int], int] = {}  # (cid, level) -> time
+        self._failed: dict[tuple[int, int], int] = {}  # consecutive failures
+        self.stats_pulls = 0
+        self.stats_attempts = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, system: "System") -> None:
+        super().attach(system)
+        for core in system.cores:
+            core.idle_callbacks.append(self._newidle_balance)
+            # stagger periodic ticks so cores don't balance in lockstep
+            offset = system.rng.jitter_us("linux.tick", self.params.tick_us)
+            system.engine.schedule(
+                self.params.tick_us + offset,
+                lambda c=core: self._tick(c),
+                f"linux.tick.{core.cid}",
+            )
+
+    # ------------------------------------------------------------------
+    # periodic balancing
+    # ------------------------------------------------------------------
+    def _tick(self, core: "CoreSim") -> None:
+        assert self.system is not None
+        now = self.system.engine.now
+        intervals = (
+            self.params.idle_interval_us if core.is_idle else self.params.busy_interval_us
+        )
+        for domain in self.system.machine.domains_by_core[core.cid]:
+            key = (core.cid, int(domain.level))
+            last = self._last_balance.get(key, 0)
+            if now - last >= intervals[domain.level]:
+                self._last_balance[key] = now
+                self._balance_domain(core, domain)
+        self.system.engine.schedule(
+            self.params.tick_us, lambda: self._tick(core), f"linux.tick.{core.cid}"
+        )
+
+    def _balance_domain(self, core: "CoreSim", domain: SchedDomain) -> None:
+        """One balancing pass at one domain level, pulling toward core."""
+        assert self.system is not None
+        self.stats_attempts += 1
+        loads = {
+            g: sum(self.system.cores[c].nr_running for c in g) for g in domain.groups
+        }
+        local_group = domain.group_of(core.cid)
+        local_load = loads[local_group]
+        busiest_group = max(
+            (g for g in domain.groups if g is not local_group),
+            key=lambda g: loads[g],
+            default=None,
+        )
+        if busiest_group is None:
+            return
+        busiest_load = loads[busiest_group]
+        pct = self.params.imbalance_pct[domain.level]
+        if busiest_load * 100 <= local_load * pct:
+            self._failed.pop((core.cid, int(domain.level)), None)
+            return
+        # integer imbalance: how many tasks to move to even the groups
+        n_to_move = (busiest_load - local_load) // 2
+        if n_to_move < 1:
+            # e.g. 3 vs 2: the balance "cannot be improved"; do nothing
+            return
+        busiest_core = max(
+            (self.system.cores[c] for c in busiest_group),
+            key=lambda c: c.nr_running,
+        )
+        moved = self._pull_tasks(core, busiest_core, n_to_move, domain.level)
+        key = (core.cid, int(domain.level))
+        if moved:
+            self._failed.pop(key, None)
+        else:
+            self._failed[key] = self._failed.get(key, 0) + 1
+
+    def _pull_tasks(
+        self,
+        dst: "CoreSim",
+        src: "CoreSim",
+        n: int,
+        level: DomainLevel,
+        allow_hot_override: bool = False,
+    ) -> int:
+        """Pull up to ``n`` movable tasks src -> dst.  Returns count."""
+        assert self.system is not None
+        now = self.system.engine.now
+        allow_hot = (
+            allow_hot_override
+            or self._failed.get((dst.cid, int(level)), 0) >= self.params.hot_resist_attempts
+        )
+        moved = 0
+        # never the running task; prefer cache-cold candidates
+        candidates = [
+            t
+            for t in src.rq.tasks()
+            if t.state == TaskState.RUNNABLE and t.can_run_on(dst.cid)
+        ]
+        candidates.sort(key=lambda t: (t.cache_hot(now, self.params.cache_hot_us), t.tid))
+        for task in candidates:
+            if moved >= n:
+                break
+            if task.cache_hot(now, self.params.cache_hot_us) and not allow_hot:
+                continue
+            if self.system.migrate(task, dst.cid, reason=f"linux.{level.name.lower()}"):
+                moved += 1
+        self.stats_pulls += moved
+        return moved
+
+    # ------------------------------------------------------------------
+    # new-idle balancing
+    # ------------------------------------------------------------------
+    def _newidle_balance(self, core: "CoreSim") -> None:
+        """A core just ran out of work: pull one task immediately.
+
+        Walks the domain hierarchy bottom-up and takes the first
+        available task from the busiest queue with more than one
+        runnable task.  Cache-hot resistance applies but yields after
+        the configured failed attempts -- an idle core beats locality.
+        """
+        assert self.system is not None
+        for domain in self.system.machine.domains_by_core[core.cid]:
+            busiest = max(
+                (
+                    self.system.cores[c]
+                    for c in domain.core_ids
+                    if c != core.cid
+                ),
+                key=lambda c: c.nr_running,
+                default=None,
+            )
+            if busiest is None or busiest.nr_running < 2:
+                continue
+            if self._pull_tasks(core, busiest, 1, domain.level):
+                return
+            # second chance: an idle core may take even a hot task
+            if self._pull_tasks(core, busiest, 1, domain.level, allow_hot_override=True):
+                return

@@ -1,0 +1,41 @@
+"""Static application-level balancing: PINNED and One-per-core.
+
+The paper's "PINNED" series pins the application's threads round-robin
+to the allocated cores, which "only achieves optimal speedup when
+16 mod N = 0" (Figure 3) -- included "to give an indication of the
+potential cost of migrations".  "One-per-core" is the same mechanism
+with exactly as many threads as cores (the ideal-scaling reference).
+"""
+
+from __future__ import annotations
+
+from repro.balance.base import KernelBalancer
+from repro.sched.task import Task
+
+__all__ = ["PinnedBalancer"]
+
+
+class PinnedBalancer(KernelBalancer):
+    """Round-robin pinning in task creation order; no migration ever.
+
+    Placement ignores load entirely: thread *i* of a burst goes to
+    allowed core ``i mod n``, and is pinned there.  This reproduces
+    static application-level balancing (numactl / sched_setaffinity in
+    a launcher script).
+    """
+
+    name = "pinned"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next: dict[frozenset[int] | None, int] = {}
+
+    def place_new_task(self, task: Task, snapshot: list[int]) -> int:
+        assert self.system is not None
+        allowed = tuple(self.system._allowed(task))
+        key = task.allowed_cores
+        idx = self._next.get(key, 0)
+        self._next[key] = idx + 1
+        cid = allowed[idx % len(allowed)]
+        task.pin(frozenset({cid}))
+        return cid

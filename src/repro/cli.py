@@ -1,0 +1,179 @@
+"""Command-line interface: quick experiments without writing code.
+
+Examples
+--------
+Describe the modeled machines::
+
+    python -m repro machines
+
+Run EP (16 threads) under each balancer on 12 Tigerton cores::
+
+    python -m repro run --bench ep.C --cores 12 --balancer speed load pinned
+
+The 3-threads-on-2-cores motivating example::
+
+    python -m repro run --bench ep.C --threads 3 --cores 2 --seconds 2
+
+Print the Section 4 analytical model for a configuration::
+
+    python -m repro model --threads 16 --cores 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.workloads import FULL_CATALOG, make_nas_app
+from repro.core import analytical
+from repro.harness import report
+from repro.harness.experiment import BALANCER_MODES, repeat_run
+from repro.sched.task import WaitMode
+from repro.topology import presets
+
+MACHINES = {
+    "tigerton": presets.tigerton,
+    "barcelona": presets.barcelona,
+    "nehalem": presets.nehalem,
+}
+
+WAITS = {
+    "yield": WaitMode.YIELD,
+    "sleep": WaitMode.SLEEP,
+    "spin": WaitMode.SPIN,
+}
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    for name, factory in MACHINES.items():
+        print(factory().describe())
+        print()
+    return 0
+
+
+def _cmd_benches(args: argparse.Namespace) -> int:
+    rows = [
+        [
+            name,
+            entry.rss_per_core_gb,
+            entry.mem_intensity,
+            (entry.inter_barrier_upc_us or 0) / 1000,
+            (entry.inter_barrier_omp_us or 0) / 1000,
+        ]
+        for name, entry in FULL_CATALOG.items()
+    ]
+    print(report.table(
+        ["bench", "RSS GB/core", "mem intensity", "barrier UPC ms",
+         "barrier OMP ms"],
+        rows,
+        title="NAS-like workload catalog (Table 2 of the paper; mg.B and "
+              "lu.A are extrapolated extensions)",
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    machine = MACHINES[args.machine]
+    wait = WaitPolicy(mode=WAITS[args.wait])
+    total_us = int(args.seconds * 1_000_000)
+
+    def factory(system):
+        return make_nas_app(
+            system, args.bench, n_threads=args.threads, wait_policy=wait,
+            total_compute_us=total_us,
+        )
+
+    rows = []
+    for mode in args.balancer:
+        rr = repeat_run(
+            machine, factory, balancer=mode, cores=args.cores,
+            seeds=range(args.repeats),
+        )
+        rows.append([
+            mode.upper(),
+            rr.mean_speedup,
+            rr.mean_time_us / 1e6,
+            rr.variation_pct,
+            rr.mean_migrations,
+        ])
+    print(report.table(
+        ["balancer", "speedup", "time (s)", "variation %", "migrations"],
+        rows,
+        title=(
+            f"{args.bench}, {args.threads} threads on {args.cores} "
+            f"{args.machine} cores, {args.wait} barriers, "
+            f"{args.repeats} seeds (ideal speedup {args.cores})"
+        ),
+    ))
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    n, m = args.threads, args.cores
+    shape = analytical.queue_shape(n, m)
+    pairs = {
+        "threads (N)": n,
+        "cores (M)": m,
+        "threads per fast core (T)": shape.t,
+        "fast cores (FQ)": shape.fq,
+        "slow cores (SQ)": shape.sq,
+        "Lemma 1 step bound": analytical.lemma1_steps_bound(n, m),
+        "min profitable S (x balance interval B)": analytical.min_profitable_s(n, m),
+        "speed under queue-length balancing": analytical.average_speed_linux(n, m),
+        "speed under ideal speed balancing": analytical.average_speed_ideal(n, m),
+        "potential speedup": analytical.potential_speedup(n, m),
+    }
+    print(report.kv_block("Section 4 analytical model", pairs, float_fmt="{:.3f}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Load Balancing on Speed' (PPoPP 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="describe the modeled machines")
+    sub.add_parser("benches", help="list the NAS-like workload catalog")
+
+    run = sub.add_parser("run", help="run a workload under one or more balancers")
+    run.add_argument("--bench", default="ep.C", choices=sorted(FULL_CATALOG))
+    run.add_argument("--machine", default="tigerton", choices=sorted(MACHINES))
+    run.add_argument("--threads", type=int, default=16)
+    run.add_argument("--cores", type=int, default=12)
+    run.add_argument("--wait", default="yield", choices=sorted(WAITS))
+    run.add_argument("--seconds", type=float, default=1.0,
+                     help="per-thread compute demand in simulated seconds")
+    run.add_argument("--repeats", type=int, default=3)
+    run.add_argument(
+        "--balancer", nargs="+", default=["speed", "load"],
+        choices=BALANCER_MODES,
+    )
+
+    model = sub.add_parser("model", help="print the Section 4 analytical model")
+    model.add_argument("--threads", type=int, required=True)
+    model.add_argument("--cores", type=int, required=True)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "machines": _cmd_machines,
+        "benches": _cmd_benches,
+        "run": _cmd_run,
+        "model": _cmd_model,
+    }[args.command]
+    try:
+        return handler(args)
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

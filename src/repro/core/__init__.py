@@ -1,0 +1,26 @@
+"""The paper's contribution: user-level speed balancing.
+
+* :mod:`repro.core.speed` -- the speed metric (``t_exec / t_real``)
+  and the taskstats-style sampling machinery, including measurement
+  noise modeling (Section 5.2 motivates the ``T_s`` threshold with
+  "a certain amount of noise in the measurements");
+* :mod:`repro.core.speed_balancer` -- ``SpeedBalancer``, the Section 5
+  algorithm: distributed per-core balancers, jittered 100 ms interval,
+  pull-from-slow with the 0.9 speed threshold, least-migrated victim,
+  two-interval post-migration block, per-domain migration enables and
+  NUMA blocking;
+* :mod:`repro.core.analytical` -- the Section 4 model: Lemma 1's bound
+  on balancing steps and the profitability threshold behind Figure 1.
+"""
+
+from repro.core.speed import SpeedSample, SpeedEstimator
+from repro.core.speed_balancer import SpeedBalancer, SpeedBalancerConfig
+from repro.core import analytical
+
+__all__ = [
+    "SpeedBalancer",
+    "SpeedBalancerConfig",
+    "SpeedEstimator",
+    "SpeedSample",
+    "analytical",
+]

@@ -1,0 +1,230 @@
+"""The Section 4 analytical model: when does speed balancing pay off?
+
+Setup (paper's notation): N threads of an SPMD application run on M
+homogeneous cores, N > M.  With T = floor(N/M) threads per core, there
+are FQ *fast* cores running T threads and SQ *slow* cores running T+1
+threads (SQ = N mod M, FQ = M - SQ).  Threads compute for S seconds
+between barriers; balancing executes every B seconds.  With queue-
+length balancing the program runs at the speed of the slowest thread,
+1/(T+1); ideally each thread spends an equal fraction of time on fast
+and slow cores, for an asymptotic average speed of
+
+    (1/2) * (1/T + 1/(T+1))   ==> a potential speedup of 1 + 1/(2T).
+
+**Lemma 1.** The number of balancing steps required for every thread to
+have run at least once on a fast core is bounded by ``2*ceil(SQ/FQ)``.
+
+Profitability ("necessary but not sufficient") requires the program to
+live long enough for those steps:
+
+    (T+1) * S  >  2 * ceil(SQ/FQ) * B
+
+which Figure 1 plots (as the minimal S for B = 1) over core counts
+10..100: "in the majority of cases S <= 1 ... The high values for S
+appearing on the diagonals capture the worst case scenario ... few
+(two) threads per core and a large number of slow cores (M-1, M-2)".
+
+This module also contains a direct *step simulation* of the balancing
+process used by the property-based tests to validate the lemma's bound
+constructively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "queue_shape",
+    "lemma1_steps_bound",
+    "min_profitable_s",
+    "figure1_grid",
+    "average_speed_linux",
+    "average_speed_ideal",
+    "paper_asymptotic_speed",
+    "paper_potential_speedup",
+    "potential_speedup",
+    "simulate_balancing_steps",
+]
+
+
+@dataclass(frozen=True)
+class QueueShape:
+    """Thread distribution of N threads over M cores."""
+
+    n_threads: int
+    m_cores: int
+    t: int  # floor(N/M), threads on a fast core
+    fq: int  # number of fast cores (T threads)
+    sq: int  # number of slow cores (T+1 threads)
+
+
+def queue_shape(n_threads: int, m_cores: int) -> QueueShape:
+    """Fast/slow queue decomposition of the paper's Section 4."""
+    if m_cores < 1 or n_threads < 1:
+        raise ValueError("need at least one thread and one core")
+    t = n_threads // m_cores
+    sq = n_threads % m_cores
+    fq = m_cores - sq
+    return QueueShape(n_threads, m_cores, t, fq, sq)
+
+
+def lemma1_steps_bound(n_threads: int, m_cores: int) -> int:
+    """Lemma 1: bound on balancing steps for the necessity condition.
+
+    Zero when the distribution is already balanced (N mod M == 0) and
+    when N <= M (at most one thread per core: nobody runs slow).
+    """
+    if n_threads <= m_cores:
+        return 0
+    shape = queue_shape(n_threads, m_cores)
+    if shape.sq == 0:
+        return 0
+    return 2 * math.ceil(shape.sq / shape.fq)
+
+
+def min_profitable_s(n_threads: int, m_cores: int, b: float = 1.0) -> float:
+    """Minimal inter-barrier compute S for speed balancing to win.
+
+    Derived from ``(T+1)*S > 2*ceil(SQ/FQ)*B``; zero for balanced
+    distributions and for N <= M (nothing to balance).
+    """
+    shape = queue_shape(n_threads, m_cores)
+    if shape.sq == 0 or n_threads <= m_cores:
+        return 0.0
+    steps = lemma1_steps_bound(n_threads, m_cores)
+    return steps * b / (shape.t + 1)
+
+
+def figure1_grid(
+    cores: Iterable[int] = range(10, 101),
+    threads: Iterable[int] = range(10, 401),
+    b: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The data behind Figure 1: min S over (cores, threads), B fixed.
+
+    Returns ``(cores_axis, threads_axis, s_min)`` where ``s_min`` has
+    shape (len(threads), len(cores)); entries with N <= M are 0 (no
+    oversubscription).  The paper cuts the colour scale at 10 and
+    reports an actual data range of [0.015, 147].
+    """
+    cores_axis = np.fromiter(cores, dtype=int)
+    threads_axis = np.fromiter(threads, dtype=int)
+    s_min = np.zeros((len(threads_axis), len(cores_axis)))
+    for i, n in enumerate(threads_axis):
+        for j, m in enumerate(cores_axis):
+            if n > m:
+                s_min[i, j] = min_profitable_s(int(n), int(m), b)
+    return cores_axis, threads_axis, s_min
+
+
+# ----------------------------------------------------------------------
+# average-speed formulas (Section 4 prose)
+# ----------------------------------------------------------------------
+def average_speed_linux(n_threads: int, m_cores: int) -> float:
+    """Application speed under queue-length balancing: slowest thread.
+
+    "The Linux queue-length based balancing will not migrate threads so
+    the overall application speed is that of the slowest thread
+    1/(T+1)" (for unbalanced distributions; 1/T when N mod M == 0).
+    """
+    shape = queue_shape(n_threads, m_cores)
+    if shape.sq == 0:
+        return 1.0 / max(1, shape.t)
+    return 1.0 / (shape.t + 1)
+
+
+def average_speed_ideal(n_threads: int, m_cores: int) -> float:
+    """Asymptotic thread speed under perfect speed balancing.
+
+    Every thread's long-run CPU share when the M cores' capacity is
+    divided evenly among N threads: M/N.  For the balanced case this
+    equals 1/T; for the paper's two-queue decomposition it lies between
+    1/(T+1) and 1/T, and for SQ == FQ it equals the paper's closed form
+    (1/2)(1/T + 1/(T+1)).
+    """
+    return min(1.0, m_cores / n_threads)
+
+
+def potential_speedup(n_threads: int, m_cores: int) -> float:
+    """Speedup of ideal speed balancing over queue-length balancing."""
+    return average_speed_ideal(n_threads, m_cores) / average_speed_linux(
+        n_threads, m_cores
+    )
+
+
+# ----------------------------------------------------------------------
+# constructive validation of Lemma 1
+# ----------------------------------------------------------------------
+def paper_asymptotic_speed(t: int) -> float:
+    """The paper's asymptotic average thread speed, (1/2)(1/T + 1/(T+1)).
+
+    "Ideally, each thread should spend an equal fraction of time on the
+    fast cores and on the slow cores.  The asymptotic average thread
+    speed becomes 1/2 * (1/T + 1/(T+1))."  Note this is the per-thread
+    ideal under the equal-fraction rotation -- an optimistic bound; the
+    capacity-feasible system-wide average is
+    :func:`average_speed_ideal` (M/N), which is lower unless SQ == 0.
+    """
+    if t < 1:
+        raise ValueError("T must be >= 1 (oversubscription required)")
+    return 0.5 * (1.0 / t + 1.0 / (t + 1))
+
+
+def paper_potential_speedup(t: int) -> float:
+    """The paper's headline potential: "a possible speedup of 1 + 1/(2T)".
+
+    Ratio of :func:`paper_asymptotic_speed` to the queue-length-
+    balancing speed 1/(T+1).
+    """
+    return paper_asymptotic_speed(t) * (t + 1)
+
+
+def simulate_balancing_steps(n_threads: int, m_cores: int) -> int:
+    """Run the proof's algorithm; return steps until every thread ran fast.
+
+    A *step* is one balance interval of the distributed algorithm: each
+    fast queue pulls one thread from a distinct slow queue (flipping
+    both queues' roles), then everyone on a fast queue runs for the
+    interval.  Victims are threads that already had their fast interval
+    when possible, so the threads left behind on the flipped-to-fast
+    donor get theirs next.  The returned count never exceeds
+    :func:`lemma1_steps_bound` (property-tested).
+    """
+    if n_threads <= m_cores:
+        return 0  # one thread (or less) per core: nobody runs slow
+    shape = queue_shape(n_threads, m_cores)
+    if shape.sq == 0:
+        return 0
+    # queues[i] = list of thread ids; first FQ queues fast (T threads)
+    queues: list[list[int]] = []
+    tid = 0
+    for _ in range(shape.fq):
+        queues.append(list(range(tid, tid + shape.t)))
+        tid += shape.t
+    for _ in range(shape.sq):
+        queues.append(list(range(tid, tid + shape.t + 1)))
+        tid += shape.t + 1
+    ran_fast: set[int] = set()
+    steps = 0
+    while len(ran_fast) < shape.n_threads:
+        # every thread currently on a fast queue gets its fast interval
+        for q in queues:
+            if len(q) == shape.t:
+                ran_fast.update(q)
+        if len(ran_fast) >= shape.n_threads:
+            break
+        steps += 1
+        fast = [q for q in queues if len(q) == shape.t]
+        slow = [q for q in queues if len(q) == shape.t + 1]
+        # donors with unsatisfied residents first: flipping them to
+        # fast is what makes progress
+        slow.sort(key=lambda q: -sum(1 for t in q if t not in ran_fast))
+        for target, donor in zip(fast, slow):
+            victim = next((t for t in donor if t in ran_fast), donor[0])
+            donor.remove(victim)
+            target.append(victim)
+    return steps

@@ -1,0 +1,30 @@
+"""Experiment harness: assemble, run, repeat, report.
+
+* :mod:`repro.harness.experiment` -- ``run_app`` builds a System with
+  one of the named balancer modes (``speed``, ``load``, ``pinned``,
+  ``dwrr``, ``ule``, ``none``), runs an application (plus optional
+  co-runners) and returns an :class:`~repro.metrics.AppRunResult`;
+  ``repeat_run`` is the paper's ten-seed repetition.
+* :mod:`repro.harness.scenarios` -- the named configurations behind
+  each figure and table of the paper.
+* :mod:`repro.harness.report` -- plain-text renderings of the paper's
+  tables and figure series, used by the benchmark suite's output.
+"""
+
+from repro.harness.experiment import (
+    BALANCER_MODES,
+    repeat_run,
+    run_app,
+)
+from repro.harness.sweeps import SweepResult, sweep
+from repro.harness import report, scenarios
+
+__all__ = [
+    "BALANCER_MODES",
+    "SweepResult",
+    "repeat_run",
+    "report",
+    "run_app",
+    "scenarios",
+    "sweep",
+]

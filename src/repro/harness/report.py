@@ -1,0 +1,66 @@
+"""Plain-text rendering of paper-style tables and figure series.
+
+The benchmark suite prints these so a run of
+``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's
+rows/series in readable form (EXPERIMENTS.md archives one such run).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["table", "series", "kv_block"]
+
+
+def table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned text table."""
+
+    def fmt(x: object) -> str:
+        if isinstance(x, float):
+            return float_fmt.format(x)
+        return str(x)
+
+    str_rows = [[fmt(x) for x in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def series(
+    x_label: str,
+    xs: Sequence[object],
+    columns: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render figure-style series: one x column, one column per line."""
+    headers = [x_label] + list(columns.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [columns[k][i] for k in columns])
+    return table(headers, rows, title=title, float_fmt=float_fmt)
+
+
+def kv_block(title: str, pairs: Mapping[str, object], float_fmt: str = "{:.2f}") -> str:
+    """Render a labelled key/value block (summary numbers)."""
+    lines = [title]
+    width = max(len(k) for k in pairs) if pairs else 0
+    for k, v in pairs.items():
+        if isinstance(v, float):
+            v = float_fmt.format(v)
+        lines.append(f"  {k.ljust(width)} : {v}")
+    return "\n".join(lines)

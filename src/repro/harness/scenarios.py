@@ -1,0 +1,247 @@
+"""Named scenarios: the configurations behind each figure and table.
+
+Each function returns plain data (dicts / result objects) so the
+benchmark harness can both assert on shapes and print paper-style
+output.  Durations are scaled down from the paper's 2-80 s runs (see
+``workloads`` module docstring); every scaling choice is recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.multiprogram import CpuHog, MakeWorkload
+from repro.apps.workloads import ep_app, make_nas_app
+from repro.core.speed_balancer import SpeedBalancerConfig
+from repro.harness.experiment import repeat_run
+from repro.metrics.results import RepeatedResult
+from repro.sched.task import WaitMode
+from repro.topology import presets
+
+__all__ = [
+    "WAIT_POLICIES",
+    "ep_speedup_series",
+    "balance_interval_sweep",
+    "npb_improvement",
+    "cpu_hog_series",
+    "make_share_series",
+]
+
+#: wait-policy shorthand used across scenarios
+WAIT_POLICIES: dict[str, WaitPolicy] = {
+    "yield": WaitPolicy(mode=WaitMode.YIELD),
+    "sleep": WaitPolicy(mode=WaitMode.SLEEP),
+    "spin": WaitPolicy(mode=WaitMode.SPIN),
+    "omp-default": WaitPolicy.omp_default(),
+    "omp-infinite": WaitPolicy.omp_infinite(),
+}
+
+
+def _machine(name: str):
+    return {
+        "tigerton": presets.tigerton,
+        "barcelona": presets.barcelona,
+        "nehalem": presets.nehalem,
+    }[name]
+
+
+# ----------------------------------------------------------------------
+# Figure 3: EP speedup vs core count
+# ----------------------------------------------------------------------
+def ep_speedup_series(
+    machine: str = "tigerton",
+    balancer: str = "speed",
+    wait: str = "yield",
+    core_counts: Iterable[int] = range(1, 17),
+    n_threads: int = 16,
+    one_per_core: bool = False,
+    seeds: Iterable[int] = range(5),
+    total_compute_us: int = 1_000_000,
+) -> dict[int, RepeatedResult]:
+    """EP compiled with 16 threads, run on 1..16 cores (Figure 3).
+
+    ``one_per_core`` instead runs as many threads as cores, pinned --
+    the paper's ideal-scaling reference line.
+    """
+    out: dict[int, RepeatedResult] = {}
+    for n_cores in core_counts:
+        threads = n_cores if one_per_core else n_threads
+        per_thread = total_compute_us * n_threads // threads
+
+        def factory(system, threads=threads, per_thread=per_thread):
+            return ep_app(
+                system,
+                n_threads=threads,
+                wait_policy=WAIT_POLICIES[wait],
+                total_compute_us=per_thread,
+            )
+
+        out[n_cores] = repeat_run(
+            _machine(machine),
+            factory,
+            balancer="pinned" if one_per_core else balancer,
+            cores=n_cores,
+            seeds=seeds,
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 2: balance interval vs synchronization granularity
+# ----------------------------------------------------------------------
+def balance_interval_sweep(
+    barrier_periods_us: Sequence[int] = (53, 440, 3400, 27_000, 216_000),
+    balance_intervals_us: Sequence[int] = (20_000, 50_000, 100_000, 200_000, 400_000),
+    total_compute_us: int = 500_000,
+    n_threads: int = 3,
+    n_cores: int = 2,
+    seeds: Iterable[int] = range(3),
+    machine: str = "tigerton",
+) -> dict[tuple[int, int], RepeatedResult]:
+    """Three threads on two cores, EP with barriers (Figure 2).
+
+    Keys are ``(barrier_period_us, balance_interval_us)``; the paper's
+    x-axis is the computation between barriers, one line per balance
+    interval, y-axis the slowdown vs one thread per core.
+    """
+    out: dict[tuple[int, int], RepeatedResult] = {}
+    for period in barrier_periods_us:
+        for interval in balance_intervals_us:
+            cfg = SpeedBalancerConfig(interval_us=interval)
+
+            def factory(system, period=period):
+                return ep_app(
+                    system,
+                    n_threads=n_threads,
+                    wait_policy=WAIT_POLICIES["yield"],
+                    total_compute_us=total_compute_us,
+                    barrier_period_us=period,
+                )
+
+            out[(period, interval)] = repeat_run(
+                _machine(machine),
+                factory,
+                balancer="speed",
+                cores=n_cores,
+                seeds=seeds,
+                speed_config=cfg,
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 4 / Table 3: NPB workload, SPEED vs LOAD vs PINNED
+# ----------------------------------------------------------------------
+def npb_improvement(
+    benches: Sequence[str] = ("bt.A", "cg.B", "ft.B", "is.C", "sp.A"),
+    core_counts: Iterable[int] = (6, 10, 12, 14),
+    balancers: Sequence[str] = ("speed", "load", "pinned"),
+    wait: str = "yield",
+    machine: str = "tigerton",
+    seeds: Iterable[int] = range(10),
+    n_threads: int = 16,
+    total_compute_us: int = 400_000,
+) -> dict[tuple[str, int, str], RepeatedResult]:
+    """NPB subset across core counts and balancers (Figure 4, Table 3)."""
+    out: dict[tuple[str, int, str], RepeatedResult] = {}
+    for bench in benches:
+        for n_cores in core_counts:
+            for balancer in balancers:
+
+                def factory(system, bench=bench):
+                    return make_nas_app(
+                        system,
+                        bench,
+                        n_threads=n_threads,
+                        wait_policy=WAIT_POLICIES[wait],
+                        total_compute_us=total_compute_us,
+                    )
+
+                out[(bench, n_cores, balancer)] = repeat_run(
+                    _machine(machine),
+                    factory,
+                    balancer=balancer,
+                    cores=n_cores,
+                    seeds=seeds,
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 5: sharing with a cpu-hog
+# ----------------------------------------------------------------------
+def cpu_hog_series(
+    balancer: str = "speed",
+    wait: str = "sleep",
+    core_counts: Iterable[int] = (2, 4, 8, 12, 16),
+    one_per_core: bool = False,
+    n_threads: int = 16,
+    seeds: Iterable[int] = range(5),
+    machine: str = "tigerton",
+    total_compute_us: int = 1_000_000,
+) -> dict[int, RepeatedResult]:
+    """EP sharing the machine with a cpu-hog pinned to core 0."""
+    out: dict[int, RepeatedResult] = {}
+    for n_cores in core_counts:
+        threads = n_cores if one_per_core else n_threads
+        per_thread = total_compute_us * n_threads // threads
+
+        def factory(system, threads=threads, per_thread=per_thread):
+            return ep_app(
+                system,
+                n_threads=threads,
+                wait_policy=WAIT_POLICIES[wait],
+                total_compute_us=per_thread,
+            )
+
+        out[n_cores] = repeat_run(
+            _machine(machine),
+            factory,
+            balancer="pinned" if one_per_core else balancer,
+            cores=n_cores,
+            seeds=seeds,
+            corunner_factories=[lambda system: CpuHog(system, core=0)],
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 6: sharing with make -j
+# ----------------------------------------------------------------------
+def make_share_series(
+    benches: Sequence[str] = ("bt.A", "cg.B", "sp.A"),
+    balancers: Sequence[str] = ("speed", "load"),
+    j: int = 16,
+    wait: str = "yield",
+    machine: str = "tigerton",
+    seeds: Iterable[int] = range(5),
+    n_threads: int = 16,
+    total_compute_us: int = 300_000,
+) -> dict[tuple[str, str], RepeatedResult]:
+    """NPB sharing all 16 cores with a make -j co-runner (Figure 6)."""
+    out: dict[tuple[str, str], RepeatedResult] = {}
+    for bench in benches:
+        for balancer in balancers:
+
+            def factory(system, bench=bench):
+                return make_nas_app(
+                    system,
+                    bench,
+                    n_threads=n_threads,
+                    wait_policy=WAIT_POLICIES[wait],
+                    total_compute_us=total_compute_us,
+                )
+
+            out[(bench, balancer)] = repeat_run(
+                _machine(machine),
+                factory,
+                balancer=balancer,
+                cores=16,
+                seeds=seeds,
+                corunner_factories=[
+                    lambda system: MakeWorkload(system, j=j, jobs=4 * j)
+                ],
+            )
+    return out

@@ -1,0 +1,89 @@
+"""Generic parameter sweeps over the experiment harness.
+
+``sweep`` runs a cartesian grid of named parameters through a runner
+and returns a :class:`SweepResult` that can slice series out of the
+grid -- the shape every figure in the paper has (one varying x, one
+line per configuration).  The figure benches hand-roll their loops for
+readability; this module is the general-purpose version for users
+designing new studies, e.g.::
+
+    result = sweep(
+        dict(cores=[4, 8, 12, 16], balancer=["speed", "load"]),
+        lambda cores, balancer: run_app(
+            presets.tigerton, my_app, balancer=balancer, cores=cores
+        ).speedup,
+    )
+    xs, ys = result.series("cores", balancer="speed")
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["SweepResult", "sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Grid of outcomes keyed by parameter assignments."""
+
+    param_names: tuple[str, ...]
+    points: dict[tuple, Any]
+
+    def get(self, **params) -> Any:
+        """The outcome at one full parameter assignment."""
+        key = tuple(params[name] for name in self.param_names)
+        return self.points[key]
+
+    def series(self, x_name: str, **fixed) -> tuple[list, list]:
+        """Extract (xs, ys) varying ``x_name`` with the rest fixed.
+
+        ``fixed`` must pin every other parameter; raises KeyError when a
+        named parameter does not exist and ValueError when the fixing is
+        incomplete.
+        """
+        if x_name not in self.param_names:
+            raise KeyError(f"unknown parameter {x_name!r}")
+        others = [n for n in self.param_names if n != x_name]
+        missing = [n for n in others if n not in fixed]
+        if missing:
+            raise ValueError(f"series() needs values for {missing}")
+        xs, ys = [], []
+        for key, value in self.points.items():
+            assign = dict(zip(self.param_names, key))
+            if all(assign[n] == fixed[n] for n in others):
+                xs.append(assign[x_name])
+                ys.append(value)
+        order = sorted(range(len(xs)), key=lambda i: xs[i])
+        return [xs[i] for i in order], [ys[i] for i in order]
+
+    def values(self) -> list:
+        return list(self.points.values())
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def sweep(
+    grid: Mapping[str, Sequence],
+    runner: Callable[..., Any],
+    progress: Callable[[dict, Any], None] | None = None,
+) -> SweepResult:
+    """Run ``runner(**assignment)`` over the cartesian grid.
+
+    ``progress`` (optional) is called after each point with the
+    assignment dict and the outcome -- handy for long sweeps.
+    """
+    if not grid:
+        raise ValueError("empty parameter grid")
+    names = tuple(grid.keys())
+    points: dict[tuple, Any] = {}
+    for combo in itertools.product(*(grid[n] for n in names)):
+        assignment = dict(zip(names, combo))
+        outcome = runner(**assignment)
+        points[combo] = outcome
+        if progress is not None:
+            progress(assignment, outcome)
+    return SweepResult(param_names=names, points=points)

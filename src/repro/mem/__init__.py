@@ -1,0 +1,16 @@
+"""Memory hierarchy effects: migration cost and NUMA placement.
+
+The paper's argument for cheap migrations (Section 4) cites Li et al.:
+cache-locality loss costs "from microseconds (in cache footprint) to 2
+milliseconds (larger than cache footprint) on contemporary UMA Intel
+processors", against a ~100 ms scheduling quantum.  NUMA migrations are
+different: they strand a task's memory on the old node, a *persistent*
+cost, which is why ``speedbalancer`` blocks them outright.
+
+:class:`repro.mem.cache_model.CacheModel` turns those observations into
+a priced model used by every balancer in the simulator.
+"""
+
+from repro.mem.cache_model import CacheModel
+
+__all__ = ["CacheModel"]

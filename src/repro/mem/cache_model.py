@@ -1,0 +1,92 @@
+"""Pricing migrations: cache refill debt and NUMA residence.
+
+Model
+-----
+When a task migrates it loses the cache state it built on the old core
+and must refill the destination's caches.  We charge this as
+*migration debt*: wall-microseconds of execution that produce no
+progress, paid on the task's next dispatches.  The debt is
+
+``min(footprint, destination_llc_size) / fill_bandwidth``
+
+clamped to ``[min_cost_us, max_cost_us]``; moves between cores that
+share their largest cache (SMT siblings, cache buddies) cost only
+``shared_cache_cost_us``.  With the defaults this spans exactly the
+paper's quoted range: an EP thread (tiny footprint) pays ~5 us, a NAS
+ft.B thread (RSS far beyond the 4 MB L2) pays the 2 ms cap.
+
+NUMA residence is handled separately (and persistently): a task's
+memory lives on its first-touch node (``Task.home_node``); executing on
+any other node divides its work rate by
+``Machine.numa_remote_slowdown``.  A later migration back home restores
+full speed.  This is why blocking NUMA migrations (the speed balancer's
+default, Section 5.2) is profitable even though it reduces balancing
+freedom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.topology.machine import DomainLevel, Machine
+
+__all__ = ["CacheModel"]
+
+
+@dataclass
+class CacheModel:
+    """Tunable migration-cost model.
+
+    Attributes
+    ----------
+    fill_bandwidth_bytes_per_us:
+        Cache refill bandwidth.  2 GB/s = 2000 bytes/us refills a 4 MB
+        L2 in ~2 ms, reproducing Li et al.'s upper bound.
+    min_cost_us / max_cost_us:
+        Clamp on the refill debt ("several us" for EP ... "2 ms").
+    smt_cost_us:
+        Cost of moving between SMT hardware contexts of one core
+        (the kernel treats these moves as free of cache penalty).
+    shared_cache_cost_us:
+        Cost when source and destination share their largest cache
+        (only the private levels refill).
+    first_touch_window_us:
+        NUMA first-touch modeling: a task migrated before it has
+        executed this much *compute* re-homes its memory on the new
+        node (the bulk of its allocations still lie ahead -- real codes
+        initialize their data after the launcher/speedbalancer has
+        pinned them).  Migration after the window strands memory on the
+        old node, the persistent cost NUMA-blocking avoids.
+    """
+
+    fill_bandwidth_bytes_per_us: float = 2000.0
+    min_cost_us: float = 5.0
+    max_cost_us: float = 2000.0
+    smt_cost_us: float = 1.0
+    shared_cache_cost_us: float = 30.0
+    first_touch_window_us: float = 50_000.0
+
+    def migration_cost_us(
+        self,
+        machine: Machine,
+        footprint_bytes: int,
+        src: Optional[int],
+        dst: int,
+    ) -> float:
+        """Debt (non-productive wall us) for moving a task src -> dst.
+
+        ``src=None`` means initial placement: no cache state to lose.
+        """
+        if src is None or src == dst:
+            return 0.0
+        level = machine.domain_level_between(src, dst)
+        if level == DomainLevel.SMT:
+            return self.smt_cost_us
+        if machine.shared_cache(src, dst) is not None:
+            return self.shared_cache_cost_us
+        llc = machine.largest_cache_of(dst)
+        llc_bytes = llc.size_bytes if llc is not None else 0
+        moved = min(footprint_bytes, llc_bytes) if llc_bytes else footprint_bytes
+        cost = moved / self.fill_bandwidth_bytes_per_us
+        return float(min(self.max_cost_us, max(self.min_cost_us, cost)))

@@ -1,0 +1,27 @@
+"""Result containers and statistics for runs and experiments.
+
+The paper's evaluation reports three kinds of numbers, all produced
+here:
+
+* **speedup** relative to ideal/serial execution (Figures 3 and 5);
+* **improvement ratios** between balancers, both of averages and of
+  worst cases over 10 runs (Figure 4, Table 3);
+* **variation**, "the ratio of the maximum to minimum run times across
+  10 runs" (Table 3) -- the paper's headline stability claim is that
+  this drops from up to ~100% under Linux load balancing to under ~5%
+  with speed balancing.
+"""
+
+from repro.metrics.results import AppRunResult, RepeatedResult
+from repro.metrics.trace import TraceRecorder
+from repro.metrics import export, fairness, stats, trace
+
+__all__ = [
+    "AppRunResult",
+    "RepeatedResult",
+    "TraceRecorder",
+    "export",
+    "fairness",
+    "stats",
+    "trace",
+]

@@ -1,0 +1,71 @@
+"""Result/trace export: dicts, JSON and CSV.
+
+Experiments that take minutes to simulate deserve durable outputs:
+``result_to_dict`` / ``results_to_json`` serialize
+:class:`~repro.metrics.results.AppRunResult` (and repeats) including
+the derived metrics; ``trace_to_csv`` dumps a
+:class:`~repro.metrics.trace.TraceRecorder` for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Union
+
+from repro.metrics.results import AppRunResult, RepeatedResult
+from repro.metrics.trace import TraceRecorder
+
+__all__ = ["result_to_dict", "results_to_json", "trace_to_csv"]
+
+
+def result_to_dict(result: Union[AppRunResult, RepeatedResult]) -> dict:
+    """Serialize a run (or repeat aggregate) including derived metrics."""
+    if isinstance(result, RepeatedResult):
+        return {
+            "type": "repeated",
+            "runs": [result_to_dict(r) for r in result.runs],
+            "mean_time_us": result.mean_time_us,
+            "worst_time_us": result.worst_time_us,
+            "best_time_us": result.best_time_us,
+            "variation_pct": result.variation_pct,
+            "mean_speedup": result.mean_speedup,
+            "mean_migrations": result.mean_migrations,
+        }
+    return {
+        "type": "run",
+        "app_name": result.app_name,
+        "balancer": result.balancer,
+        "n_cores": result.n_cores,
+        "n_threads": result.n_threads,
+        "seed": result.seed,
+        "elapsed_us": result.elapsed_us,
+        "total_work_us": result.total_work_us,
+        "migrations": result.migrations,
+        "system_migrations": result.system_migrations,
+        "speedup": result.speedup,
+        "spin_fraction": result.spin_fraction,
+        "finish_spread": result.finish_spread,
+        "progress_balance": result.progress_balance,
+        "thread_exec_us": list(result.thread_exec_us),
+        "thread_compute_us": list(result.thread_compute_us),
+        "thread_finish_us": list(result.thread_finish_us),
+    }
+
+
+def results_to_json(
+    results: Iterable[Union[AppRunResult, RepeatedResult]], indent: int = 2
+) -> str:
+    """JSON document for a collection of results."""
+    return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+def trace_to_csv(trace: TraceRecorder) -> str:
+    """CSV with one row per execution segment."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["tid", "task", "core", "start_us", "end_us", "kind"])
+    for s in trace.segments:
+        writer.writerow([s.tid, s.task_name, s.core, s.start, s.end, s.kind])
+    return buf.getvalue()

@@ -1,0 +1,49 @@
+"""Fairness measures over thread progress.
+
+The paper's core requirement is "that all tasks within the application
+make equal progress".  Beyond min/max, the standard scalar for this is
+**Jain's fairness index**,
+
+    J(x) = (sum x_i)^2 / (n * sum x_i^2),
+
+which is 1.0 for perfectly equal allocations and 1/n when one thread
+gets everything.  ``rotation_fairness`` applies it to a run's
+per-thread compute over a time window (via the trace), which is how
+the test suite quantifies that speed balancing's rotation actually
+equalizes progress where queue-length balancing does not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.metrics.trace import TraceRecorder, task_share
+
+__all__ = ["jain_index", "rotation_fairness"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index in [1/n, 1]."""
+    if not values:
+        raise ValueError("jain_index of empty sequence")
+    if any(v < 0 for v in values):
+        raise ValueError("allocations must be non-negative")
+    total = sum(values)
+    if total == 0:
+        return 1.0  # nobody got anything: trivially equal
+    sq = sum(v * v for v in values)
+    return total * total / (len(values) * sq)
+
+
+def rotation_fairness(
+    trace: TraceRecorder,
+    tids: Sequence[int],
+    start: Optional[int] = None,
+    end: Optional[int] = None,
+) -> float:
+    """Jain index of the threads' productive CPU shares over a window."""
+    t0, t1 = trace.span
+    start = t0 if start is None else start
+    end = t1 if end is None else end
+    shares = [task_share(trace, tid, start, end, kind="run") for tid in tids]
+    return jain_index(shares)

@@ -1,0 +1,67 @@
+"""Small statistics helpers shared by results and the harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "mean",
+    "geomean",
+    "variation_pct",
+    "ratio_of_means",
+    "ratio_of_worsts",
+    "coefficient_of_variation",
+]
+
+
+def mean(xs: Sequence[float]) -> float:
+    if not xs:
+        raise ValueError("mean of empty sequence")
+    return sum(xs) / len(xs)
+
+
+def geomean(xs: Sequence[float]) -> float:
+    if not xs:
+        raise ValueError("geomean of empty sequence")
+    if any(x <= 0 for x in xs):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def variation_pct(run_times: Sequence[float]) -> float:
+    """The paper's variation metric: (max/min - 1) * 100.
+
+    Table 3's caption: "The percentage variation is the ratio of the
+    maximum to minimum run times across 10 runs."
+    """
+    if not run_times:
+        raise ValueError("variation of empty sequence")
+    lo, hi = min(run_times), max(run_times)
+    if lo <= 0:
+        raise ValueError("run times must be positive")
+    return (hi / lo - 1.0) * 100.0
+
+
+def ratio_of_means(baseline: Sequence[float], candidate: Sequence[float]) -> float:
+    """baseline_mean / candidate_mean (run times: >1 means candidate wins)."""
+    return mean(baseline) / mean(candidate)
+
+
+def ratio_of_worsts(baseline: Sequence[float], candidate: Sequence[float]) -> float:
+    """Worst-case ratio: baseline_max / candidate_max.
+
+    Figure 4 reports ``SB_WORST / LB_WORST`` style comparisons (there
+    as candidate/baseline of the inverse metric); with run *times*,
+    a value > 1 means the candidate's worst run beats the baseline's.
+    """
+    return max(baseline) / max(candidate)
+
+
+def coefficient_of_variation(xs: Sequence[float]) -> float:
+    """stdev/mean, a scale-free spread measure used in the test suite."""
+    m = mean(xs)
+    if m == 0:
+        raise ValueError("CV undefined for zero mean")
+    var = sum((x - m) ** 2 for x in xs) / len(xs)
+    return math.sqrt(var) / m

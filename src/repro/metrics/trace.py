@@ -1,0 +1,153 @@
+"""Execution tracing: who ran where, when, doing what.
+
+Enable with ``System(..., trace=True)`` (or attach a
+:class:`TraceRecorder` later).  Every charged execution interval is
+recorded as a :class:`Segment`; the analysis helpers answer the
+questions the paper's figures are built from -- per-core utilization,
+per-thread CPU share over time windows (the speed metric itself), and
+an ASCII Gantt chart that makes rotation visible:
+
+>>> print(ascii_gantt(system.trace, width=60))   # doctest: +SKIP
+core  0 AAAAAAAAaaaaBBBB....
+core  1 BBBBBBBBBBAAAAAA....
+
+Capital letters mark compute, lowercase synchronization waiting, ``.``
+idle time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Segment", "TraceRecorder", "core_utilization", "task_share", "ascii_gantt"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One charged execution interval."""
+
+    tid: int
+    task_name: str
+    core: int
+    start: int
+    end: int
+    #: "run" for productive compute, "wait" for spin/yield burn
+    kind: str
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects execution segments (bounded; oldest dropped beyond cap)."""
+
+    def __init__(self, limit: int = 2_000_000):
+        self.segments: list[Segment] = []
+        self.limit = limit
+        self.dropped = 0
+
+    def record(self, tid: int, name: str, core: int, start: int, end: int, kind: str) -> None:
+        if end <= start:
+            return
+        if len(self.segments) >= self.limit:
+            self.dropped += 1
+            return
+        self.segments.append(Segment(tid, name, core, start, end, kind))
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """(first start, last end) over all segments."""
+        if not self.segments:
+            return (0, 0)
+        return (
+            min(s.start for s in self.segments),
+            max(s.end for s in self.segments),
+        )
+
+
+def core_utilization(
+    trace: TraceRecorder,
+    n_cores: int,
+    start: Optional[int] = None,
+    end: Optional[int] = None,
+) -> list[float]:
+    """Busy fraction per core over [start, end)."""
+    t0, t1 = trace.span
+    start = t0 if start is None else start
+    end = t1 if end is None else end
+    if end <= start:
+        return [0.0] * n_cores
+    busy = [0] * n_cores
+    for s in trace.segments:
+        lo, hi = max(s.start, start), min(s.end, end)
+        if hi > lo:
+            busy[s.core] += hi - lo
+    return [b / (end - start) for b in busy]
+
+
+def task_share(
+    trace: TraceRecorder,
+    tid: int,
+    start: int,
+    end: int,
+    kind: Optional[str] = None,
+) -> float:
+    """CPU share of one task over a window -- the speed metric, post hoc."""
+    if end <= start:
+        raise ValueError("empty window")
+    got = 0
+    for s in trace.segments:
+        if s.tid != tid:
+            continue
+        if kind is not None and s.kind != kind:
+            continue
+        lo, hi = max(s.start, start), min(s.end, end)
+        if hi > lo:
+            got += hi - lo
+    return got / (end - start)
+
+
+def ascii_gantt(
+    trace: TraceRecorder,
+    n_cores: int,
+    width: int = 80,
+    start: Optional[int] = None,
+    end: Optional[int] = None,
+) -> str:
+    """Render per-core timelines; letters identify tasks (A..Z cycling).
+
+    Capitals = compute, lowercase = synchronization wait, ``.`` = idle.
+    When several segments land in one character cell, the longest wins.
+    """
+    t0, t1 = trace.span
+    start = t0 if start is None else start
+    end = t1 if end is None else end
+    if end <= start:
+        return "(empty trace)"
+    cell = (end - start) / width
+    # stable task -> letter mapping in first-seen order
+    letters: dict[int, str] = {}
+    for s in trace.segments:
+        if s.tid not in letters:
+            letters[s.tid] = chr(ord("A") + len(letters) % 26)
+    grid = [[(".", 0.0)] * width for _ in range(n_cores)]
+    for s in trace.segments:
+        lo, hi = max(s.start, start), min(s.end, end)
+        if hi <= lo:
+            continue
+        c0 = int((lo - start) / cell)
+        c1 = min(width - 1, int((hi - start - 1) / cell))
+        ch = letters[s.tid]
+        if s.kind == "wait":
+            ch = ch.lower()
+        for c in range(c0, c1 + 1):
+            seg_cover = min(hi, start + (c + 1) * cell) - max(lo, start + c * cell)
+            if seg_cover > grid[s.core][c][1]:
+                grid[s.core][c] = (ch, seg_cover)
+    lines = [
+        f"core {cid:2d} " + "".join(ch for ch, _ in row)
+        for cid, row in enumerate(grid)
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Per-core scheduling: tasks, run queues and the time dimension.
+
+Contemporary multiprocessor OSes use two-level scheduling (paper,
+Section 2): per-core run queues with a fair scheduler ("scheduling in
+time") plus a load balancer moving tasks between queues ("scheduling in
+space").  This package implements the *time* dimension:
+
+* :mod:`repro.sched.task` -- the task model: states, wait modes,
+  programs (the behavioural scripts run by workload models), execution
+  accounting (the basis of the speed metric), affinity, migration
+  bookkeeping;
+* :mod:`repro.sched.runqueue` -- a CFS run queue keyed by virtual
+  runtime, plus an O(1)-style round-robin queue used by the DWRR
+  baseline;
+* :mod:`repro.sched.cfs` -- CFS policy parameters (target latency,
+  minimum granularity, wakeup granularity, sleeper credit);
+* :mod:`repro.sched.core` -- ``CoreSim``: one simulated core; dispatch,
+  time slicing, preemption, yield/spin/sleep semantics and execution-
+  time charging.
+
+The *space* dimension lives in :mod:`repro.balance` (queue-length
+balancers) and :mod:`repro.core` (the paper's speed balancer).
+"""
+
+from repro.sched.task import (
+    Action,
+    ActionType,
+    Program,
+    Task,
+    TaskState,
+    WaitMode,
+)
+from repro.sched.cfs import CfsParams
+from repro.sched.runqueue import CfsRunQueue, RoundRobinQueue
+from repro.sched.core import CoreSim
+
+__all__ = [
+    "Action",
+    "ActionType",
+    "CfsParams",
+    "CfsRunQueue",
+    "CoreSim",
+    "Program",
+    "RoundRobinQueue",
+    "Task",
+    "TaskState",
+    "WaitMode",
+]

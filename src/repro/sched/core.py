@@ -1,0 +1,448 @@
+"""One simulated core: dispatch, time slicing, charging, preemption.
+
+``CoreSim`` implements the *time* dimension of scheduling on a single
+core: it picks the leftmost (smallest vruntime) runnable task, runs it
+for up to a CFS time slice, charges its execution time (the quantity
+the speed metric is built on) and handles the three synchronization
+wait behaviours -- spin, ``sched_yield`` loop, sleep -- whose different
+visibility to queue-length balancing is central to the paper.
+
+Event discipline
+----------------
+A core has at most one pending engine event (slice end / compute
+completion / yield expiry).  Any state change -- wakeup enqueue,
+migration in or out, barrier release, balancer interruption -- calls
+:meth:`resched`, which charges the interval elapsed so far, requeues
+the current task and dispatches afresh.  A generation counter makes
+superseded events harmless.
+
+Execution rate
+--------------
+A task retires ``rate`` microseconds of work per wall microsecond,
+
+    rate = clock_factor * smt_factor / numa_slowdown
+
+where ``smt_factor`` derates a hardware context whose SMT sibling is
+busy and ``numa_slowdown`` applies when the task's memory lives on a
+remote NUMA node (see :mod:`repro.mem.cache_model`).  The rate is
+captured at dispatch; every rate-changing transition (sibling busy/idle
+flip, migration) forces a resched, so captured-rate charging is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sched.cfs import CfsParams
+from repro.sched.runqueue import CfsRunQueue, O1RunQueue
+from repro.sched.task import NICE_0_WEIGHT, Action, ActionType, Task, TaskState, WaitMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+__all__ = ["CoreSim", "CoreStats"]
+
+#: epsilon below which remaining work counts as done (guards float dust)
+_WORK_EPS = 1e-6
+
+
+@dataclass
+class CoreStats:
+    """Per-core counters used by the metrics layer."""
+
+    busy_us: int = 0
+    spin_us: int = 0  # busy time spent in synchronization spin/yield
+    context_switches: int = 0
+    dispatches: int = 0
+    migrations_in: int = 0
+    migrations_out: int = 0
+    idle_balance_calls: int = 0
+
+
+class CoreSim:
+    """A single simulated core with a CFS run queue."""
+
+    def __init__(self, system: "System", hw) -> None:
+        self.system = system
+        self.engine = system.engine
+        self.hw = hw
+        self.cid: int = hw.cid
+        self.params: CfsParams = system.cfs_params
+        self.rq = O1RunQueue() if system.scheduler == "o1" else CfsRunQueue()
+        self.current: Optional[Task] = None
+        self.dispatch_started_at: int = 0
+        self.stats = CoreStats()
+        #: DWRR round-expired tasks: runnable, but parked off the queue
+        self.throttled: list[Task] = []
+        #: balancer hooks fired when the core runs out of work
+        self.idle_callbacks: list[Callable[["CoreSim"], None]] = []
+        self.idle_since: int = 0
+        self._event = None  # pending engine event
+        self._gen: int = 0
+        self._in_resched = False
+        self._rate_at_dispatch: float = 1.0
+        #: microseconds a yielding waiter occupies the core per yield
+        #: when co-runners are queued (a sched_yield loop hands over
+        #: almost immediately; this is the simulation granularity)
+        self.yield_check_us: int = system.yield_check_us
+
+    # ------------------------------------------------------------------
+    # queue state
+    # ------------------------------------------------------------------
+    @property
+    def nr_running(self) -> int:
+        """Linux's per-core load: queued plus currently running tasks.
+
+        This is the quantity the queue-length balancers equalize -- and
+        note that spinning/yielding waiters are counted while sleepers
+        are not, exactly the distinction the paper exploits.
+        """
+        return len(self.rq) + (1 if self.current is not None else 0)
+
+    @property
+    def is_idle(self) -> bool:
+        return self.current is None and len(self.rq) == 0
+
+    def runnable_tasks(self) -> list[Task]:
+        """All runnable tasks on this core, current first."""
+        out = [self.current] if self.current is not None else []
+        out.extend(self.rq.tasks())
+        return out
+
+    def sibling(self) -> Optional["CoreSim"]:
+        sib = self.hw.smt_sibling
+        return self.system.cores[sib] if sib is not None else None
+
+    # ------------------------------------------------------------------
+    # entry points used by System / balancers / barriers
+    # ------------------------------------------------------------------
+    def enqueue(self, task: Task, wakeup: bool = False) -> None:
+        """Place a runnable task on this core's queue.
+
+        ``wakeup`` enables CFS wakeup preemption: a freshly woken task
+        whose vruntime is sufficiently behind the current task's
+        preempts it.
+        """
+        task.cur_core = self.cid
+        task.state = TaskState.RUNNABLE
+        self.rq.push(task)
+        if self._in_resched:
+            return  # the active dispatch loop will see the new task
+        if self.current is None:
+            self.resched()
+        elif self.current.is_waiting and self.current.wait_mode == WaitMode.YIELD:
+            # a lone yield-poller was occupying the core in whole
+            # slices; its very next sched_yield hands over to the
+            # arrival, which is "now" at simulation granularity
+            self.resched()
+        elif wakeup and self._should_preempt(task):
+            self.resched()
+        self._notify_sibling_rate_change()
+
+    def dequeue(self, task: Task) -> None:
+        """Remove a queued (not running) task, e.g. for migration."""
+        if task in self.rq:
+            self.rq.remove(task)
+        elif task in self.throttled:
+            self.throttled.remove(task)
+        else:
+            raise ValueError(f"{task} not queued on core {self.cid}")
+        task.cur_core = None
+
+    def interrupt(self) -> None:
+        """Charge and deschedule the running task immediately.
+
+        Used by forced migration (``sched_setaffinity`` semantics: "a
+        task is moved immediately to another core, without allowing the
+        task to finish the run time remaining in its quantum").
+        """
+        if self.current is None:
+            return
+        self._charge_current()
+        task = self.current
+        self.current = None
+        task.state = TaskState.RUNNABLE
+        task.last_descheduled_at = self.engine.now
+        task.last_core = self.cid
+        # caller decides where the task goes next
+
+    def resched(self) -> None:
+        """Charge the current task, requeue it and dispatch afresh."""
+        if self._in_resched:
+            return
+        self._charge_current()
+        self._put_back_current()
+        self._dispatch_next()
+
+    def charge_now(self) -> None:
+        """Charge the running task up to the current instant.
+
+        Used by barriers just before clearing a running waiter's wait
+        flags, so the elapsed interval is classified as synchronization
+        time rather than compute.
+        """
+        self._charge_current()
+
+    def notify_waiter_released(self, task: Task) -> None:
+        """A barrier this task was spinning/yielding on just opened."""
+        if task is self.current:
+            self.resched()
+        # queued tasks advance at their next dispatch
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+    def _charge_current(self) -> None:
+        """Account the interval since dispatch to the running task."""
+        task = self.current
+        if task is None:
+            return
+        now = self.engine.now
+        dt = now - self.dispatch_started_at
+        self.dispatch_started_at = now
+        if dt <= 0:
+            return
+        task.exec_us += dt
+        if self.system.trace is not None:
+            self.system.trace.record(
+                task.tid, task.name, self.cid, now - dt, now,
+                "wait" if task.is_waiting else "run",
+            )
+        task.vruntime += dt * (NICE_0_WEIGHT / task.weight)
+        self.rq.note_current_vruntime(task.vruntime)
+        self.stats.busy_us += dt
+        if task.is_waiting:
+            self.stats.spin_us += dt
+        else:
+            rate = self._rate_at_dispatch
+            debt_paid = min(float(dt), task.migration_debt_us)
+            task.migration_debt_us -= debt_paid
+            productive = dt - debt_paid
+            task.work_remaining -= productive * rate
+            task.compute_us += int(productive)
+        self.system.on_task_charged(self, task, dt)
+
+    # ------------------------------------------------------------------
+    # dispatch machinery
+    # ------------------------------------------------------------------
+    def _put_back_current(self) -> None:
+        task = self.current
+        if task is None:
+            return
+        self.current = None
+        task.last_descheduled_at = self.engine.now
+        task.last_core = self.cid
+        self.stats.context_switches += 1
+        if task.state != TaskState.RUNNING:
+            return  # already slept/exited/migrated under us
+        task.state = TaskState.RUNNABLE
+        if task.throttled:
+            self.throttled.append(task)
+        else:
+            self.rq.push(task)
+
+    def _dispatch_next(self) -> None:
+        """Pick the next runnable task and start executing it."""
+        self._cancel_event()
+        self._in_resched = True
+        try:
+            while True:
+                task = self.rq.pop_min()
+                if task is None:
+                    self._go_idle()
+                    if len(self.rq) == 0:
+                        return  # genuinely idle
+                    continue  # idle balance pulled something
+                if task.throttled:
+                    self.throttled.append(task)
+                    continue
+                if self._prepare(task):
+                    break
+                # task slept or exited during prepare; pick again
+        finally:
+            self._in_resched = False
+        self._start(task)
+
+    def _prepare(self, task: Task) -> bool:
+        """Advance the task's program until it has on-CPU work.
+
+        Returns False if the task left the runnable state (sleep/exit).
+        """
+        now = self.engine.now
+        while True:
+            if task.is_waiting:
+                if task.wait_mode == WaitMode.SLEEP:  # pragma: no cover - defensive
+                    raise AssertionError("sleeping waiter found on a run queue")
+                return True  # spin or yield on CPU
+            if not task.needs_advance and (
+                task.work_remaining > _WORK_EPS or task.migration_debt_us > _WORK_EPS
+            ):
+                return True
+            task.needs_advance = False
+            action = task.program.next_action(task, now)
+            if action.type == ActionType.COMPUTE:
+                task.work_remaining = float(action.work_us)
+                if task.home_node is None and self.system.machine.numa:
+                    task.home_node = self.hw.numa_node  # first touch
+                return True
+            if action.type == ActionType.WAIT_BARRIER:
+                assert action.barrier is not None
+                released = action.barrier.arrive(task, now)
+                if released:
+                    task.needs_advance = True
+                    continue  # barrier opened; on to the next action
+                if task.state == TaskState.SLEEPING:
+                    task.cur_core = None
+                    return False  # sleep-mode wait
+                return True  # spin/yield-mode wait
+            if action.type == ActionType.SLEEP:
+                self.system.put_to_sleep(task, wake_in=action.sleep_us)
+                return False
+            if action.type == ActionType.EXIT:
+                self.system.task_exited(task)
+                return False
+            raise AssertionError(f"unknown action {action}")  # pragma: no cover
+
+    def _start(self, task: Task) -> None:
+        now = self.engine.now
+        task.state = TaskState.RUNNING
+        task.cur_core = self.cid
+        self.current = task
+        self.dispatch_started_at = now
+        self.stats.dispatches += 1
+        self._rate_at_dispatch = self.effective_rate(task)
+        run_for = self._run_duration(task)
+        self._gen += 1
+        gen = self._gen
+        self._event = self.engine.schedule(
+            max(1, run_for), lambda: self._on_core_event(gen), f"core{self.cid}"
+        )
+        self._notify_sibling_rate_change()
+
+    def _run_duration(self, task: Task) -> int:
+        """How long this dispatch lasts, absent external interruption."""
+        nr = self.nr_running
+        slice_us = self.params.slice_for(
+            nr, task.weight, self.rq.total_weight() + task.weight
+        )
+        if task.is_waiting:
+            if task.wait_mode == WaitMode.YIELD and len(self.rq) > 0:
+                # yield to the queued co-runner almost immediately
+                run_for = min(slice_us, self.yield_check_us)
+            else:  # SPIN, or a yielder alone on the queue (yield is a
+                # no-op then: it polls like a spinner)
+                run_for = slice_us
+            if task.spin_deadline is not None:
+                run_for = min(run_for, max(1, task.spin_deadline - self.engine.now))
+            return run_for
+        rate = self._rate_at_dispatch
+        need = task.migration_debt_us + task.work_remaining / rate
+        return min(slice_us, math.ceil(need - 1e-9))
+
+    def _on_core_event(self, gen: int) -> None:
+        if gen != self._gen or self.current is None:
+            return  # superseded
+        task = self.current
+        self._charge_current()
+        now = self.engine.now
+        if task.is_waiting:
+            if task.spin_deadline is not None and now >= task.spin_deadline:
+                # KMP_BLOCKTIME expired: the waiter goes to sleep.
+                barrier = task.waiting_on
+                assert barrier is not None
+                self.current = None
+                task.last_descheduled_at = now
+                task.last_core = self.cid
+                barrier.spin_timeout(task, now)
+                self._dispatch_next()
+                return
+            if task.wait_mode == WaitMode.YIELD:
+                # sched_yield: move past the rightmost task and requeue.
+                task.vruntime = (
+                    max(task.vruntime, self.rq.max_vruntime()) + self.params.yield_penalty
+                )
+            self.resched()
+            return
+        if task.work_remaining <= _WORK_EPS and task.migration_debt_us <= _WORK_EPS:
+            task.work_remaining = 0.0
+            task.needs_advance = True
+        self.resched()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def effective_rate(self, task: Task) -> float:
+        """Work retired per wall microsecond for ``task`` on this core.
+
+        Memory-bandwidth contention is sampled at dispatch time (a
+        quasi-static approximation: a co-runner arriving mid-slice does
+        not retroactively slow this slice; slices are ms-scale so the
+        error is small, and the approximation is noted in DESIGN.md).
+        """
+        rate = self.hw.clock_factor
+        sib = self.sibling()
+        if sib is not None and sib.current is not None:
+            rate *= self.system.machine.smt_derate
+        if (
+            self.system.machine.numa
+            and task.home_node is not None
+            and task.home_node != self.hw.numa_node
+        ):
+            rate /= self.system.machine.numa_remote_slowdown
+        machine = self.system.machine
+        if machine.mem_contention_alpha > 0.0 and task.mem_intensity > 0.0:
+            co = 0.0
+            for other in self.system.cores:
+                if other is self or other.current is None:
+                    continue
+                if (
+                    machine.mem_contention_scope == "node"
+                    and other.hw.numa_node != self.hw.numa_node
+                ):
+                    continue
+                co += other.current.mem_intensity
+            rate /= 1.0 + task.mem_intensity * machine.mem_contention_alpha * co
+        return rate
+
+    def _should_preempt(self, woken: Task) -> bool:
+        cur = self.current
+        if cur is None:
+            return True
+        # charge so the comparison uses the current task's live vruntime
+        self._charge_current()
+        return woken.vruntime + self.params.wakeup_granularity < cur.vruntime
+
+    def _go_idle(self) -> None:
+        """Run idle-balance hooks; the queue may be refilled by a pull."""
+        self.idle_since = self.engine.now
+        self.stats.idle_balance_calls += 1
+        for cb in list(self.idle_callbacks):
+            cb(self)
+            if len(self.rq) > 0:
+                break
+        if len(self.rq) == 0:
+            self._notify_sibling_rate_change()
+
+    def _cancel_event(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self._gen += 1
+
+    def _notify_sibling_rate_change(self) -> None:
+        """SMT siblings' execution rates depend on our occupancy."""
+        if self.hw.smt_sibling is None or self.system.machine.smt_derate >= 1.0:
+            return
+        sib = self.sibling()
+        if sib is None or sib.current is None or sib._in_resched:
+            return
+        # Only interrupt the sibling if its execution rate actually
+        # changed; unconditional rescheds would ping-pong forever.
+        if sib.effective_rate(sib.current) != sib._rate_at_dispatch:
+            sib.resched()
+
+    def __repr__(self) -> str:
+        cur = self.current.name if self.current else "idle"
+        return f"<Core {self.cid} running={cur} queued={len(self.rq)}>"

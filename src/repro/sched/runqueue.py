@@ -1,0 +1,219 @@
+"""Run queues: CFS (vruntime-ordered) and O(1)-style round robin.
+
+``CfsRunQueue`` stands in for the kernel's red-black tree of schedulable
+entities.  A binary heap with lazy deletion gives the same O(log n)
+pick-next/insert complexity; arbitrary removal (needed constantly by
+the balancers) marks entries dead and ignores them on pop.
+
+``RoundRobinQueue`` models the pre-CFS O(1) scheduler's active/expired
+arrays, which is the substrate the DWRR prototype (Linux 2.6.22) was
+built on -- the paper could only evaluate DWRR on the 2.6.22 O(1)
+kernel because the 2.6.24 CFS port did not boot.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Optional
+
+from repro.sched.task import Task
+
+__all__ = ["CfsRunQueue", "O1RunQueue", "RoundRobinQueue"]
+
+_entry_counter = itertools.count()
+
+
+class CfsRunQueue:
+    """Priority queue of runnable (not running) tasks, keyed by vruntime.
+
+    Also maintains ``min_vruntime``, the monotonically increasing
+    baseline CFS uses to normalize sleepers and migrating tasks.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Task]] = []
+        self._live: dict[int, tuple[float, int, Task]] = {}  # tid -> entry
+        self.min_vruntime: float = 0.0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, task: Task) -> bool:
+        return task.tid in self._live
+
+    def tasks(self) -> list[Task]:
+        """Snapshot of queued tasks (unordered)."""
+        return [e[2] for e in self._live.values()]
+
+    def total_weight(self) -> int:
+        return sum(t.weight for t in self.tasks())
+
+    # ------------------------------------------------------------------
+    def push(self, task: Task) -> None:
+        if task.tid in self._live:
+            raise ValueError(f"{task} already queued")
+        entry = (task.vruntime, next(_entry_counter), task)
+        self._live[task.tid] = entry
+        heapq.heappush(self._heap, entry)
+
+    def pop_min(self) -> Optional[Task]:
+        """Remove and return the leftmost (smallest vruntime) task."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            task = entry[2]
+            if self._live.get(task.tid) is entry:
+                del self._live[task.tid]
+                self._advance_min(task.vruntime)
+                return task
+        return None
+
+    def peek_min(self) -> Optional[Task]:
+        while self._heap:
+            entry = self._heap[0]
+            task = entry[2]
+            if self._live.get(task.tid) is entry:
+                return task
+            heapq.heappop(self._heap)
+        return None
+
+    def remove(self, task: Task) -> None:
+        """Remove an arbitrary task (migration/sleep).  O(1) amortized."""
+        if task.tid not in self._live:
+            raise ValueError(f"{task} not queued")
+        del self._live[task.tid]
+        # stale heap entry is skipped lazily by pop_min/peek_min
+
+    def max_vruntime(self) -> float:
+        """Largest vruntime among queued tasks (for sched_yield)."""
+        if not self._live:
+            return self.min_vruntime
+        return max(e[0] for e in self._live.values())
+
+    def requeue(self, task: Task) -> None:
+        """Re-insert after a vruntime change (yield, slice expiry)."""
+        if task.tid in self._live:
+            self.remove(task)
+        self.push(task)
+
+    # ------------------------------------------------------------------
+    def _advance_min(self, candidate: float) -> None:
+        """min_vruntime never decreases (CFS invariant)."""
+        if candidate > self.min_vruntime:
+            self.min_vruntime = candidate
+
+    def note_current_vruntime(self, vruntime: float) -> None:
+        """Fold the running task's vruntime into min_vruntime tracking.
+
+        CFS updates ``min_vruntime`` from min(leftmost, current); since
+        the current task usually has the smallest vruntime this is the
+        main driver of the baseline.
+        """
+        leftmost = self.peek_min()
+        floor = vruntime if leftmost is None else min(vruntime, leftmost.vruntime)
+        self._advance_min(floor)
+
+
+class O1RunQueue:
+    """O(1)-scheduler facade with the CFS run-queue interface.
+
+    Lets :class:`~repro.sched.core.CoreSim` run with pre-CFS semantics
+    (the Linux 2.6.22 kernel the DWRR prototype was built on): strict
+    FIFO round robin over an active/expired array pair, no virtual
+    runtime.  ``pop_min`` pops the active head, swapping in the expired
+    array when active drains; vruntime-related methods are no-ops so
+    the CFS-oriented call sites stay untouched.
+    """
+
+    def __init__(self) -> None:
+        self._rr = RoundRobinQueue()
+        self.min_vruntime: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self._rr)
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._rr
+
+    def tasks(self) -> list[Task]:
+        return self._rr.tasks()
+
+    def total_weight(self) -> int:
+        return sum(t.weight for t in self.tasks())
+
+    def push(self, task: Task) -> None:
+        if task in self._rr:
+            raise ValueError(f"{task} already queued")
+        self._rr.push_active(task)
+
+    def pop_min(self) -> Optional[Task]:
+        t = self._rr.pop_active()
+        if t is None and self._rr.expired:
+            self._rr.swap()
+            t = self._rr.pop_active()
+        return t
+
+    def peek_min(self) -> Optional[Task]:
+        if self._rr.active:
+            return self._rr.active[0]
+        if self._rr.expired:
+            return self._rr.expired[0]
+        return None
+
+    def remove(self, task: Task) -> None:
+        self._rr.remove(task)
+
+    def max_vruntime(self) -> float:
+        return self.min_vruntime
+
+    def requeue(self, task: Task) -> None:
+        self.remove(task)
+        self.push(task)
+
+    def note_current_vruntime(self, vruntime: float) -> None:
+        """vruntime is meaningless under O(1); ignore it."""
+
+
+class RoundRobinQueue:
+    """O(1)-scheduler-style active/expired FIFO pair.
+
+    Tasks run in FIFO order from the *active* queue; a task that
+    exhausts its (round) slice moves to *expired*.  When active drains
+    the arrays swap.  Used directly by :class:`O1RunQueue` and, at the
+    balancer level, mirrored by DWRR's round bookkeeping -- see
+    :class:`repro.balance.dwrr.DwrrBalancer`.
+    """
+
+    def __init__(self) -> None:
+        self.active: deque[Task] = deque()
+        self.expired: deque[Task] = deque()
+
+    def __len__(self) -> int:
+        return len(self.active) + len(self.expired)
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self.active or task in self.expired
+
+    def tasks(self) -> list[Task]:
+        return list(self.active) + list(self.expired)
+
+    def push_active(self, task: Task) -> None:
+        self.active.append(task)
+
+    def push_expired(self, task: Task) -> None:
+        self.expired.append(task)
+
+    def pop_active(self) -> Optional[Task]:
+        return self.active.popleft() if self.active else None
+
+    def remove(self, task: Task) -> None:
+        try:
+            self.active.remove(task)
+        except ValueError:
+            self.expired.remove(task)
+
+    def swap(self) -> None:
+        """Swap active and expired arrays (round advance)."""
+        self.active, self.expired = self.expired, self.active

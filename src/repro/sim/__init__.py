@@ -1,0 +1,27 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the substrate on which every scheduler in
+:mod:`repro` runs.  The paper's artifact steers a live Linux kernel; our
+substitution (see ``DESIGN.md``) is a discrete-event simulation with
+integer-microsecond time, so that thread execution time -- the quantity
+speed balancing manages -- is accounted exactly and reproducibly.
+
+Contents
+--------
+``Engine``
+    The event loop: a priority queue of timestamped events with stable
+    FIFO ordering for ties, cancellation, and a monotonic ``now`` clock.
+``Event``
+    A handle for a scheduled callback; supports ``cancel()``.
+``SimRng``
+    A seeded random source wrapping :class:`random.Random` with the
+    distributions the simulator needs (jitter, gaussian measurement
+    noise, choice).  Every stochastic decision in the simulator draws
+    from a named child stream so that adding randomness to one component
+    does not perturb another.
+"""
+
+from repro.sim.engine import Engine, Event, SimulationError
+from repro.sim.rng import SimRng
+
+__all__ = ["Engine", "Event", "SimRng", "SimulationError"]

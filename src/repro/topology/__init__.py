@@ -1,0 +1,39 @@
+"""Machine topology: cores, caches, sockets, NUMA nodes, domains.
+
+This models what the paper's ``speedbalancer`` reads from ``/sys`` and
+what the Linux kernel encodes as *scheduling domains* (Section 2 of the
+paper): a hierarchy reflecting how hardware resources are shared -- SMT
+hardware context, shared cache, socket, NUMA node.
+
+The concrete systems from Table 1 of the paper are available as
+presets:
+
+* :func:`repro.topology.presets.tigerton`  -- UMA  4 sockets x 4 cores,
+  4 MB L2 per core pair, Intel Xeon E7310.
+* :func:`repro.topology.presets.barcelona` -- NUMA 4 sockets x 4 cores,
+  512 KB private L2, 2 MB L3 per socket, AMD Opteron 8350.
+* :func:`repro.topology.presets.nehalem`   -- NUMA 2 sockets x 4 cores
+  x 2 SMT contexts (the system whose results the paper omits for
+  brevity).
+
+Asymmetric machines (Turbo-Boost-style clock differences, Section 3)
+are built with :func:`repro.topology.presets.asymmetric`.
+"""
+
+from repro.topology.machine import (
+    Cache,
+    Core,
+    DomainLevel,
+    Machine,
+    SchedDomain,
+)
+from repro.topology import presets
+
+__all__ = [
+    "Cache",
+    "Core",
+    "DomainLevel",
+    "Machine",
+    "SchedDomain",
+    "presets",
+]

@@ -1,0 +1,347 @@
+"""Core, cache and scheduling-domain data structures.
+
+The simulator's notion of a machine is intentionally close to what the
+Linux scheduler sees:
+
+* a flat list of :class:`Core` objects, each with a clock factor (1.0 =
+  the machine's nominal speed; asymmetric systems use other values),
+  a socket id, a NUMA node id and an optional SMT sibling;
+* a set of :class:`Cache` objects, each shared by a group of cores,
+  used by the memory model to price migrations;
+* a tree of :class:`SchedDomain` objects -- SMT, MC (shared cache),
+  SOCKET, NUMA -- that both the Linux load balancer model and the
+  speed balancer walk, exactly as the paper describes the real
+  implementations doing via ``/proc`` and ``/sys``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Core", "Cache", "DomainLevel", "SchedDomain", "Machine"]
+
+
+class DomainLevel(enum.IntEnum):
+    """Scheduling-domain levels, ordered from most to least shared.
+
+    Matches the hierarchy in Section 2 of the paper: "SMT hardware
+    context, cache, socket and NUMA domain".  Balancing proceeds *up*
+    this hierarchy; migration frequency decreases with level.
+
+    ``MACHINE`` is the all-cores domain of a *UMA* machine (Linux's
+    "CPU" level on the Tigerton): crossing it is a socket crossing,
+    not a NUMA crossing, so it must not be caught by NUMA-migration
+    blocking.  On NUMA machines the all-cores domain is ``NUMA``.
+    """
+
+    SMT = 0
+    CACHE = 1
+    SOCKET = 2
+    MACHINE = 3
+    NUMA = 4
+
+
+@dataclass
+class Cache:
+    """A cache shared by one or more cores.
+
+    ``size_bytes`` is the capacity used by the migration-cost model: a
+    task whose resident set fits in the destination core's largest
+    shared cache that it *already shares* with its old core migrates
+    cheaply; otherwise it pays a refill cost proportional to its
+    footprint (Section 4 of the paper cites microseconds to ~2 ms).
+    """
+
+    name: str
+    level: int  # 1, 2, 3
+    size_bytes: int
+    core_ids: tuple[int, ...]
+
+
+@dataclass
+class Core:
+    """One hardware execution context.
+
+    ``clock_factor`` scales work retired per microsecond of execution;
+    1.0 is nominal.  The paper motivates speed balancing partly with
+    asymmetric clocks (Turbo Boost, Section 3), modeled by setting
+    factors != 1.0.
+
+    ``smt_sibling`` is the core id of the other hardware context on the
+    same physical core, or None.  The simulator derates both siblings
+    when both are busy (see :class:`repro.machine_model`), reflecting
+    the Nehalem observation in Section 6 of the paper.
+    """
+
+    cid: int
+    socket: int
+    numa_node: int
+    clock_factor: float = 1.0
+    smt_sibling: Optional[int] = None
+
+
+@dataclass
+class SchedDomain:
+    """A node in the scheduling-domain tree.
+
+    ``groups`` partitions ``core_ids``; at the lowest level each group
+    is a single core, higher up each group is the span of a child
+    domain.  The Linux balancer balances *between groups* of one
+    domain, the speed balancer uses domains to decide which migrations
+    are enabled and how often (Section 5.2: "speedbalancer can enable
+    migrations to happen twice as often between cores that share a
+    cache").
+    """
+
+    level: DomainLevel
+    core_ids: tuple[int, ...]
+    groups: tuple[tuple[int, ...], ...]
+    parent: Optional["SchedDomain"] = None
+    children: list["SchedDomain"] = field(default_factory=list)
+
+    def group_of(self, cid: int) -> tuple[int, ...]:
+        """Return the group within this domain containing core ``cid``."""
+        for g in self.groups:
+            if cid in g:
+                return g
+        raise KeyError(f"core {cid} not in domain {self.level.name}")
+
+
+class Machine:
+    """A complete machine description.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label (e.g. ``"tigerton"``).
+    cores:
+        The hardware contexts, ids must be ``0..n-1`` in order.
+    caches:
+        Shared caches; used for migration pricing and to build the
+        CACHE-level scheduling domains.
+    numa:
+        True if the machine has more than one memory node with
+        distinct access costs (Barcelona, Nehalem).
+    numa_remote_slowdown:
+        Multiplicative compute slowdown for a task running on a node
+        other than where its memory lives.  The paper blocks NUMA
+        migrations precisely because this cost is persistent.
+    smt_derate:
+        Per-context throughput factor when both SMT siblings are busy
+        (1.0 = no SMT penalty; Nehalem-like machines use ~0.6, i.e. two
+        busy contexts retire ~1.2x a single context).
+    mem_contention_scope:
+        ``"global"`` (Tigerton-style shared front-side bus / single
+        northbridge) or ``"node"`` (Barcelona-style per-node memory
+        controllers).  Determines which co-running tasks contend for
+        memory bandwidth.
+    mem_contention_alpha:
+        Strength of bandwidth contention: a task with memory intensity
+        m running alongside co-runners with total intensity M slows by
+        ``1 / (1 + m * alpha * M)``.  Zero disables the model.  This is
+        what reproduces Table 2's sub-linear 16-core speedups for the
+        memory-intensive NAS codes (ft.B at 5.3x on Tigerton vs 10.5x
+        on Barcelona).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cores: list[Core],
+        caches: list[Cache],
+        numa: bool,
+        numa_remote_slowdown: float = 1.3,
+        smt_derate: float = 1.0,
+        mem_per_core_bytes: int = 2 << 30,
+        mem_contention_scope: str = "global",
+        mem_contention_alpha: float = 0.0,
+    ):
+        self.name = name
+        self.cores = cores
+        self.caches = caches
+        self.numa = numa
+        self.numa_remote_slowdown = numa_remote_slowdown
+        self.smt_derate = smt_derate
+        self.mem_per_core_bytes = mem_per_core_bytes
+        if mem_contention_scope not in ("global", "node"):
+            raise ValueError("mem_contention_scope must be 'global' or 'node'")
+        self.mem_contention_scope = mem_contention_scope
+        self.mem_contention_alpha = mem_contention_alpha
+        for i, c in enumerate(cores):
+            if c.cid != i:
+                raise ValueError("core ids must be dense and ordered")
+        self.domains_by_core: dict[int, list[SchedDomain]] = {}
+        self.root_domain: Optional[SchedDomain] = None
+        self._build_domains()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def numa_node_of(self, cid: int) -> int:
+        return self.cores[cid].numa_node
+
+    def socket_of(self, cid: int) -> int:
+        return self.cores[cid].socket
+
+    def shared_cache(self, a: int, b: int) -> Optional[Cache]:
+        """The largest cache shared by cores ``a`` and ``b``, if any."""
+        best: Optional[Cache] = None
+        for cache in self.caches:
+            if a in cache.core_ids and b in cache.core_ids:
+                if best is None or cache.size_bytes > best.size_bytes:
+                    best = cache
+        return best
+
+    def largest_cache_of(self, cid: int) -> Optional[Cache]:
+        """The largest (outermost) cache reachable from core ``cid``."""
+        best: Optional[Cache] = None
+        for cache in self.caches:
+            if cid in cache.core_ids:
+                if best is None or cache.level > best.level:
+                    best = cache
+        return best
+
+    def domain_level_between(self, a: int, b: int) -> Optional[DomainLevel]:
+        """The boundary a migration from core ``a`` to ``b`` crosses.
+
+        Returns None when ``a == b`` (no migration).  This is how both
+        balancer models classify a candidate migration: SMT moves are
+        essentially free, CACHE moves cheap, SOCKET/MACHINE moves cost
+        a cache refill, NUMA moves additionally strand memory.
+        """
+        if a == b:
+            return None
+        ca, cb = self.cores[a], self.cores[b]
+        if ca.numa_node != cb.numa_node:
+            return DomainLevel.NUMA
+        if ca.socket != cb.socket:
+            return DomainLevel.MACHINE
+        if ca.smt_sibling == b:
+            return DomainLevel.SMT
+        if self.shared_cache(a, b) is not None:
+            return DomainLevel.CACHE
+        return DomainLevel.SOCKET
+
+    # ------------------------------------------------------------------
+    def _build_domains(self) -> None:
+        """Construct the per-core domain lists, lowest level first.
+
+        Mirrors how the kernel builds ``sched_domains``: each core gets
+        a chain of domains that span successively more of the machine.
+        Levels that would be degenerate (span identical to the level
+        below) are skipped, as the kernel does.
+        """
+        n = self.n_cores
+
+        def smt_span(cid: int) -> tuple[int, ...]:
+            sib = self.cores[cid].smt_sibling
+            return tuple(sorted((cid, sib))) if sib is not None else (cid,)
+
+        def cache_span(cid: int) -> tuple[int, ...]:
+            # cores sharing the largest cache with cid
+            cache = self.largest_cache_of(cid)
+            return tuple(sorted(cache.core_ids)) if cache else smt_span(cid)
+
+        def socket_span(cid: int) -> tuple[int, ...]:
+            s = self.cores[cid].socket
+            return tuple(c.cid for c in self.cores if c.socket == s)
+
+        def machine_span(cid: int) -> tuple[int, ...]:
+            return tuple(range(n))
+
+        top_level = DomainLevel.NUMA if self.numa else DomainLevel.MACHINE
+        span_fns = [
+            (DomainLevel.SMT, smt_span),
+            (DomainLevel.CACHE, cache_span),
+            (DomainLevel.SOCKET, socket_span),
+            (top_level, machine_span),
+        ]
+
+        # Build unique domains keyed by (level, span).
+        made: dict[tuple[DomainLevel, tuple[int, ...]], SchedDomain] = {}
+        for cid in range(n):
+            chain: list[SchedDomain] = []
+            prev_span: Optional[tuple[int, ...]] = None
+            for level, fn in span_fns:
+                span = fn(cid)
+                if len(span) <= 1 and level < DomainLevel.MACHINE:
+                    continue  # degenerate (no SMT sibling, private cache)
+                if span == prev_span:
+                    continue  # identical to the level below; kernel collapses it
+                key = (level, span)
+                dom = made.get(key)
+                if dom is None:
+                    groups = self._groups_for(level, span)
+                    dom = SchedDomain(level=level, core_ids=span, groups=groups)
+                    made[key] = dom
+                chain.append(dom)
+                prev_span = span
+            self.domains_by_core[cid] = chain
+            if chain:
+                self.root_domain = chain[-1]
+
+        # Parent/child links for traversal convenience.
+        for cid, chain in self.domains_by_core.items():
+            for lower, upper in zip(chain, chain[1:]):
+                if lower.parent is None:
+                    lower.parent = upper
+                    upper.children.append(lower)
+
+    def _groups_for(
+        self, level: DomainLevel, span: tuple[int, ...]
+    ) -> tuple[tuple[int, ...], ...]:
+        """Partition ``span`` into balancing groups one level down."""
+        if level == DomainLevel.SMT:
+            return tuple((c,) for c in span)
+        if level == DomainLevel.CACHE:
+            # groups are SMT pairs (or single cores)
+            seen: set[int] = set()
+            groups: list[tuple[int, ...]] = []
+            for c in span:
+                if c in seen:
+                    continue
+                sib = self.cores[c].smt_sibling
+                if sib is not None and sib in span:
+                    g = tuple(sorted((c, sib)))
+                else:
+                    g = (c,)
+                seen.update(g)
+                groups.append(g)
+            return tuple(groups)
+        if level == DomainLevel.SOCKET:
+            # groups are cache-sharing clusters within the socket
+            groups_map: dict[tuple[int, ...], None] = {}
+            for c in span:
+                cache = self.largest_cache_of(c)
+                if cache is not None and set(cache.core_ids) <= set(span):
+                    g = tuple(sorted(cache.core_ids))
+                else:
+                    g = (c,)
+                groups_map[g] = None
+            return tuple(groups_map.keys())
+        # NUMA / top level: groups are sockets
+        groups_map2: dict[int, list[int]] = {}
+        for c in span:
+            groups_map2.setdefault(self.cores[c].socket, []).append(c)
+        return tuple(tuple(sorted(v)) for v in groups_map2.values())
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Table-1-style description of this machine."""
+        lines = [f"Machine {self.name}: {self.n_cores} cores, NUMA={self.numa}"]
+        sockets: dict[int, list[int]] = {}
+        for c in self.cores:
+            sockets.setdefault(c.socket, []).append(c.cid)
+        for s, cids in sorted(sockets.items()):
+            lines.append(f"  socket {s}: cores {cids}")
+        for cache in self.caches:
+            mb = cache.size_bytes / (1 << 20)
+            lines.append(f"  L{cache.level} {cache.name}: {mb:.2f} MB cores {list(cache.core_ids)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<Machine {self.name} cores={self.n_cores} numa={self.numa}>"

@@ -1,0 +1,164 @@
+"""Machine presets for the systems in Table 1 of the paper.
+
+=============  ======================  ======================
+Property       Tigerton                Barcelona
+=============  ======================  ======================
+Processor      Intel Xeon E7310        AMD Opteron 8350
+Clock          1.6 GHz                 2.0 GHz
+L1 (d/i)       32K/32K                 64K/64K
+L2             4 MB per 2 cores        512 KB per core
+L3             none                    2 MB per socket
+Memory/core    2 GB                    4 GB
+NUMA           no                      yes (socket = node)
+Layout         4 sockets x 4 cores     4 sockets x 4 cores
+=============  ======================  ======================
+
+plus the dual-socket Nehalem (2 sockets x 4 cores x 2 SMT) the paper
+mentions, and parameterized asymmetric/uniform machines for the
+Section 3 scenarios (Turbo Boost style clock asymmetry).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.topology.machine import Cache, Core, Machine
+
+__all__ = ["tigerton", "barcelona", "nehalem", "uniform", "asymmetric"]
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+
+
+def tigerton() -> Machine:
+    """Intel Xeon E7310 "Tigerton": UMA, 4 sockets x 4 cores.
+
+    Each pair of cores shares a 4 MB L2; each socket shares a
+    front-side bus.  This is the system most of the paper's evaluation
+    (Sections 6.1-6.3) runs on.
+    """
+    cores = [Core(cid=i, socket=i // 4, numa_node=0) for i in range(16)]
+    caches = []
+    for pair in range(8):
+        cids = (2 * pair, 2 * pair + 1)
+        caches.append(Cache(name=f"L2.{pair}", level=2, size_bytes=4 * MB, core_ids=cids))
+    # L1 caches are private; modeled for completeness of migration pricing.
+    for i in range(16):
+        caches.append(Cache(name=f"L1.{i}", level=1, size_bytes=32 * KB, core_ids=(i,)))
+    return Machine(
+        name="tigerton",
+        cores=cores,
+        caches=caches,
+        numa=False,
+        mem_per_core_bytes=2 * GB,
+        mem_contention_scope="global",
+        mem_contention_alpha=0.17,
+    )
+
+
+def barcelona(numa_remote_slowdown: float = 1.3) -> Machine:
+    """AMD Opteron 8350 "Barcelona": NUMA, 4 sockets x 4 cores.
+
+    Each core has a private 512 KB L2; each socket shares a 2 MB L3 and
+    is its own NUMA node.  Used for the Section 6.4 NUMA results and
+    the right-hand side of Figure 3.
+    """
+    cores = [Core(cid=i, socket=i // 4, numa_node=i // 4) for i in range(16)]
+    caches = []
+    for s in range(4):
+        cids = tuple(range(4 * s, 4 * s + 4))
+        caches.append(Cache(name=f"L3.{s}", level=3, size_bytes=2 * MB, core_ids=cids))
+    for i in range(16):
+        caches.append(Cache(name=f"L2.{i}", level=2, size_bytes=512 * KB, core_ids=(i,)))
+        caches.append(Cache(name=f"L1.{i}", level=1, size_bytes=64 * KB, core_ids=(i,)))
+    return Machine(
+        name="barcelona",
+        cores=cores,
+        caches=caches,
+        numa=True,
+        numa_remote_slowdown=numa_remote_slowdown,
+        mem_per_core_bytes=4 * GB,
+        mem_contention_scope="node",
+        mem_contention_alpha=0.21,
+    )
+
+
+def nehalem(smt_derate: float = 0.65) -> Machine:
+    """Intel Nehalem: NUMA, 2 sockets x 4 cores x 2 SMT contexts.
+
+    The paper ran its full experiment set here too but omitted the
+    numbers for brevity, noting that speed balancing wins but does not
+    yet weight speeds by SMT-sibling occupancy.  ``smt_derate`` is the
+    per-context throughput factor when both siblings are busy.
+    """
+    cores = []
+    for i in range(16):
+        phys = i // 2  # physical core 0..7
+        sib = i + 1 if i % 2 == 0 else i - 1
+        cores.append(
+            Core(cid=i, socket=phys // 4, numa_node=phys // 4, smt_sibling=sib)
+        )
+    caches = []
+    for s in range(2):
+        cids = tuple(range(8 * s, 8 * s + 8))
+        caches.append(Cache(name=f"L3.{s}", level=3, size_bytes=8 * MB, core_ids=cids))
+    for p in range(8):
+        cids = (2 * p, 2 * p + 1)
+        caches.append(Cache(name=f"L2.{p}", level=2, size_bytes=256 * KB, core_ids=cids))
+    return Machine(
+        name="nehalem",
+        cores=cores,
+        caches=caches,
+        numa=True,
+        smt_derate=smt_derate,
+        mem_per_core_bytes=3 * GB,
+        mem_contention_scope="node",
+        mem_contention_alpha=0.15,
+    )
+
+
+def uniform(n_cores: int, cores_per_socket: Optional[int] = None, numa: bool = False) -> Machine:
+    """A generic UMA/NUMA machine with ``n_cores`` identical cores.
+
+    Used by unit tests and by the analytical-model cross-checks where
+    topology detail is irrelevant.  With ``numa=True`` each socket is a
+    NUMA node.
+    """
+    if cores_per_socket is None:
+        cores_per_socket = n_cores
+    if n_cores % cores_per_socket:
+        raise ValueError("n_cores must be a multiple of cores_per_socket")
+    cores = [
+        Core(
+            cid=i,
+            socket=i // cores_per_socket,
+            numa_node=(i // cores_per_socket) if numa else 0,
+        )
+        for i in range(n_cores)
+    ]
+    caches = []
+    n_sockets = n_cores // cores_per_socket
+    for s in range(n_sockets):
+        cids = tuple(range(s * cores_per_socket, (s + 1) * cores_per_socket))
+        caches.append(Cache(name=f"LLC.{s}", level=3, size_bytes=8 * MB, core_ids=cids))
+    return Machine(name=f"uniform{n_cores}", cores=cores, caches=caches, numa=numa)
+
+
+def asymmetric(clock_factors: Sequence[float], cores_per_socket: Optional[int] = None) -> Machine:
+    """A UMA machine whose cores run at the given clock factors.
+
+    Models the Section 3 motivation: "the Intel Nehalem processor
+    provides the Turbo Boost mechanism that over-clocks cores ... as a
+    result cores might run at different clock speeds."  Speed balancing
+    handles this with no special casing because executed-time/wall-time
+    already reflects the extra work a fast core retires.
+    """
+    n = len(clock_factors)
+    m = uniform(n, cores_per_socket or n)
+    for c, f in zip(m.cores, clock_factors):
+        if f <= 0:
+            raise ValueError("clock factors must be positive")
+        c.clock_factor = float(f)
+    m.name = "asymmetric%d" % n
+    return m

@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.spmd import SpmdApp
+from repro.balance.base import NoBalancer
+from repro.balance.linux import LinuxLoadBalancer
+from repro.sched.task import WaitMode
+from repro.system import System
+from repro.topology import presets
+
+
+@pytest.fixture
+def uniform4() -> System:
+    """A 4-core UMA system with no kernel balancer activity."""
+    system = System(presets.uniform(4), seed=0)
+    system.set_balancer(NoBalancer())
+    return system
+
+
+@pytest.fixture
+def uniform2() -> System:
+    system = System(presets.uniform(2), seed=0)
+    system.set_balancer(NoBalancer())
+    return system
+
+
+@pytest.fixture
+def tigerton_system() -> System:
+    system = System(presets.tigerton(), seed=0)
+    system.set_balancer(LinuxLoadBalancer())
+    return system
+
+
+def make_spmd(
+    system: System,
+    n_threads: int = 4,
+    work_us: int = 10_000,
+    iterations: int = 3,
+    mode: WaitMode = WaitMode.YIELD,
+    name: str = "app",
+    **kwargs,
+) -> SpmdApp:
+    """Small SPMD app with sane defaults for unit tests."""
+    return SpmdApp(
+        system=system,
+        name=name,
+        n_threads=n_threads,
+        work_us=work_us,
+        iterations=iterations,
+        wait_policy=WaitPolicy(mode=mode),
+        **kwargs,
+    )

@@ -1,0 +1,187 @@
+"""Tests for the Section 4 analytical model, incl. property-based checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analytical as an
+
+
+class TestQueueShape:
+    def test_balanced(self):
+        s = an.queue_shape(16, 4)
+        assert (s.t, s.fq, s.sq) == (4, 4, 0)
+
+    def test_paper_example_three_on_two(self):
+        s = an.queue_shape(3, 2)
+        assert (s.t, s.fq, s.sq) == (1, 1, 1)
+
+    def test_sixteen_on_twelve(self):
+        s = an.queue_shape(16, 12)
+        assert (s.t, s.fq, s.sq) == (1, 8, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            an.queue_shape(0, 4)
+        with pytest.raises(ValueError):
+            an.queue_shape(4, 0)
+
+
+class TestLemma1:
+    def test_balanced_needs_no_steps(self):
+        assert an.lemma1_steps_bound(16, 4) == 0
+
+    def test_undersubscribed_needs_no_steps(self):
+        assert an.lemma1_steps_bound(3, 8) == 0
+
+    def test_three_on_two(self):
+        # SQ=1, FQ=1 -> 2 steps
+        assert an.lemma1_steps_bound(3, 2) == 2
+
+    def test_fq_less_than_sq(self):
+        # N=2M-1: SQ=M-1, FQ=1 -> 2*(M-1)
+        assert an.lemma1_steps_bound(19, 10) == 18
+
+    def test_fq_geq_sq_always_two(self):
+        # "for FQ >= SQ two steps are needed"
+        assert an.lemma1_steps_bound(17, 16) == 2
+        assert an.lemma1_steps_bound(22, 16) == 2
+
+
+class TestProfitabilityThreshold:
+    def test_balanced_is_free(self):
+        assert an.min_profitable_s(16, 8) == 0.0
+
+    def test_three_on_two(self):
+        # (T+1)*S > 2*B with T=1 -> S > B
+        assert an.min_profitable_s(3, 2, b=1.0) == pytest.approx(1.0)
+
+    def test_scales_with_b(self):
+        assert an.min_profitable_s(3, 2, b=0.1) == pytest.approx(0.1)
+
+    def test_more_threads_lower_threshold(self):
+        """'increasing the number of threads decreases the restrictions
+        on the minimum value of S' (for fixed cores)."""
+        m = 10
+        s_few = an.min_profitable_s(12, m)
+        s_many = an.min_profitable_s(52, m)
+        assert s_many < s_few
+
+    def test_diagonal_worst_case(self):
+        """'few (two) threads per core and a large number of slow cores'"""
+        m = 50
+        worst = an.min_profitable_s(2 * m - 1, m)
+        typical = an.min_profitable_s(m + 1, m)
+        assert worst > 10 * typical
+
+
+class TestFigure1Grid:
+    def test_grid_shape(self):
+        cores, threads, grid = an.figure1_grid(range(10, 21), range(10, 41))
+        assert grid.shape == (len(threads), len(cores))
+
+    def test_majority_below_one(self):
+        """'In the majority of cases S <= 1'"""
+        _, _, grid = an.figure1_grid(range(10, 101, 10), range(10, 401, 10))
+        positive = grid[grid > 0]
+        frac = (positive <= 1.0).mean()
+        assert frac > 0.5
+
+    def test_undersubscribed_zero(self):
+        cores, threads, grid = an.figure1_grid([20], [10])
+        assert grid[0, 0] == 0.0
+
+    def test_data_range_spans_paper_magnitudes(self):
+        """Paper: 'the actual data range is [0.015, 147]' -- ours must
+        span comparable orders of magnitude over the same axes."""
+        _, _, grid = an.figure1_grid(range(10, 101), range(10, 401))
+        positive = grid[grid > 0]
+        # paper quotes [0.015, 147] on its (unstated) grid; ours must
+        # span comparable orders of magnitude on comparable axes
+        assert positive.min() <= 0.05
+        assert positive.max() >= 50
+
+
+class TestSpeedFormulas:
+    def test_linux_speed_slowest_thread(self):
+        # 3 threads 2 cores: slowest runs at 1/2
+        assert an.average_speed_linux(3, 2) == pytest.approx(0.5)
+
+    def test_linux_speed_balanced(self):
+        assert an.average_speed_linux(4, 2) == pytest.approx(0.5)
+
+    def test_ideal_speed_is_capacity_share(self):
+        assert an.average_speed_ideal(3, 2) == pytest.approx(2 / 3)
+
+    def test_ideal_never_above_one(self):
+        assert an.average_speed_ideal(2, 8) == 1.0
+
+    def test_paper_asymptotic_speed_t1(self):
+        """(1/2)(1/T + 1/(T+1)) = 0.75 for T=1."""
+        assert an.paper_asymptotic_speed(1) == pytest.approx(0.75)
+
+    def test_paper_asymptotic_above_capacity_share(self):
+        """The paper's rotation ideal is optimistic: it exceeds the
+        capacity-feasible average M/N whenever queues are unbalanced."""
+        n, m = 6, 4  # T=1, SQ=2, FQ=2
+        assert an.paper_asymptotic_speed(1) > an.average_speed_ideal(n, m)
+
+    def test_paper_potential_speedup_formula(self):
+        """'a possible speedup of 1 + 1/(2T)'"""
+        for t in (1, 2, 5, 10):
+            assert an.paper_potential_speedup(t) == pytest.approx(1 + 1 / (2 * t))
+
+    def test_paper_asymptotic_validation(self):
+        with pytest.raises(ValueError):
+            an.paper_asymptotic_speed(0)
+
+    def test_potential_speedup_three_on_two(self):
+        # paper Section 3: 50% -> 66%, a 4/3 speedup
+        assert an.potential_speedup(3, 2) == pytest.approx(4 / 3)
+
+
+class TestConstructiveSimulation:
+    def test_balanced_zero_steps(self):
+        assert an.simulate_balancing_steps(16, 4) == 0
+
+    def test_three_on_two_within_bound(self):
+        assert an.simulate_balancing_steps(3, 2) <= 2
+
+    @given(
+        m=st.integers(min_value=1, max_value=40),
+        extra=st.integers(min_value=1, max_value=80),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_lemma1_bound_holds(self, m, extra):
+        """Property: the constructive algorithm never exceeds the bound."""
+        n = m + extra
+        steps = an.simulate_balancing_steps(n, m)
+        assert steps <= an.lemma1_steps_bound(n, m)
+
+    @given(
+        m=st.integers(min_value=2, max_value=30),
+        n=st.integers(min_value=2, max_value=200),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bound_formula_consistency(self, m, n):
+        """The bound is 2*ceil(SQ/FQ) whenever there is an imbalance."""
+        bound = an.lemma1_steps_bound(n, m)
+        if n <= m or n % m == 0:
+            assert bound == 0
+        else:
+            sq = n % m
+            fq = m - sq
+            assert bound == 2 * math.ceil(sq / fq)
+
+    @given(
+        m=st.integers(min_value=2, max_value=30),
+        n=st.integers(min_value=3, max_value=200),
+        b=st.floats(min_value=0.01, max_value=10.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_min_s_scales_linearly_in_b(self, m, n, b):
+        s1 = an.min_profitable_s(n, m, 1.0)
+        sb = an.min_profitable_s(n, m, b)
+        assert sb == pytest.approx(s1 * b)

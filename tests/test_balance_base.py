@@ -1,0 +1,82 @@
+"""Unit tests for the base/none/pinned balancers' placement logic."""
+
+import pytest
+
+from repro.balance.base import NoBalancer
+from repro.balance.pinned import PinnedBalancer
+from repro.sched.task import Task
+from repro.system import System
+from repro.topology import presets
+
+from tests.test_core_sim import OneShot
+
+
+class TestBasePlacement:
+    def test_least_loaded_snapshot_wins(self):
+        system = System(presets.uniform(4), seed=0)
+        system.set_balancer(NoBalancer())
+        t = Task(program=OneShot(1000))
+        assert system.kernel_balancer.place_new_task(t, [2, 0, 1, 3]) == 1
+
+    def test_random_tie_break_spreads(self):
+        system = System(presets.uniform(8), seed=1)
+        system.set_balancer(NoBalancer())
+        picks = {
+            system.kernel_balancer.place_new_task(Task(), [0] * 8)
+            for _ in range(40)
+        }
+        assert len(picks) > 3  # ties are broken randomly, not first-core
+
+    def test_affinity_restricts_placement(self):
+        system = System(presets.uniform(4), seed=0)
+        system.set_balancer(NoBalancer())
+        t = Task()
+        t.pin({2, 3})
+        assert system.kernel_balancer.place_new_task(t, [0, 0, 5, 4]) == 3
+
+    def test_wake_placement_defaults_to_prev(self):
+        system = System(presets.uniform(4), seed=0)
+        system.set_balancer(NoBalancer())
+        assert system.kernel_balancer.place_woken(Task(), 2) == 2
+
+
+class TestPinnedPlacement:
+    def test_round_robin_in_creation_order(self):
+        system = System(presets.uniform(4), seed=0)
+        system.set_balancer(PinnedBalancer())
+        tasks = [Task(name=f"t{i}") for i in range(6)]
+        placements = [
+            system.kernel_balancer.place_new_task(t, [0] * 4) for t in tasks
+        ]
+        assert placements == [0, 1, 2, 3, 0, 1]
+
+    def test_tasks_become_pinned(self):
+        system = System(presets.uniform(4), seed=0)
+        system.set_balancer(PinnedBalancer())
+        t = Task()
+        cid = system.kernel_balancer.place_new_task(t, [0] * 4)
+        assert t.allowed_cores == frozenset({cid})
+
+    def test_separate_rotation_per_affinity_mask(self):
+        system = System(presets.uniform(4), seed=0)
+        system.set_balancer(PinnedBalancer())
+        narrow = [Task() for _ in range(2)]
+        for t in narrow:
+            t.pin({2, 3})
+        wide = [Task() for _ in range(2)]
+        n_placements = [
+            system.kernel_balancer.place_new_task(t, [0] * 4) for t in narrow
+        ]
+        w_placements = [
+            system.kernel_balancer.place_new_task(t, [0] * 4) for t in wide
+        ]
+        assert n_placements == [2, 3]
+        assert w_placements == [0, 1]
+
+    def test_pinned_never_migrates(self):
+        system = System(presets.uniform(2), seed=0)
+        system.set_balancer(PinnedBalancer())
+        tasks = [Task(program=OneShot(200_000), name=f"t{i}") for i in range(4)]
+        system.spawn_burst(tasks)
+        system.run(until=400_000)
+        assert system.total_migrations() == 0

@@ -1,0 +1,197 @@
+"""Unit tests for barrier semantics and wait policies."""
+
+import pytest
+
+from repro.apps.barriers import Barrier, WaitPolicy
+from repro.balance.base import NoBalancer
+from repro.sched.task import Action, Program, Task, TaskState, WaitMode
+from repro.system import System
+from repro.topology import presets
+
+
+class PhaseProgram(Program):
+    """iterations x (compute, barrier), then exit."""
+
+    def __init__(self, barrier, work_us, iterations=1):
+        self.barrier = barrier
+        self.work_us = work_us
+        self.iterations = iterations
+        self._step = 0
+
+    def next_action(self, task, now):
+        step = self._step
+        self._step += 1
+        if step >= 2 * self.iterations:
+            return Action.exit()
+        if step % 2 == 0:
+            return Action.compute(self.work_us)
+        return Action.wait(self.barrier)
+
+
+def build(n, mode, works, system=None, blocktime_us=None, iterations=1):
+    system = system or System(presets.uniform(n), seed=0)
+    if system.kernel_balancer is None:
+        system.set_balancer(NoBalancer())
+    policy = WaitPolicy(mode=mode, blocktime_us=blocktime_us)
+    barrier = Barrier(system, parties=n, policy=policy, name="b")
+    tasks = []
+    for i, w in enumerate(works):
+        t = Task(program=PhaseProgram(barrier, w, iterations), name=f"t{i}")
+        t.pin({i})
+        tasks.append(t)
+    system.spawn_burst(tasks)
+    return system, barrier, tasks
+
+
+class TestWaitPolicy:
+    def test_presets_modes(self):
+        assert WaitPolicy.upc_default().mode == WaitMode.YIELD
+        assert WaitPolicy.mpi_default().mode == WaitMode.YIELD
+        assert WaitPolicy.upc_sleep().mode == WaitMode.SLEEP
+        assert WaitPolicy.omp_infinite().mode == WaitMode.SPIN
+        omp = WaitPolicy.omp_default()
+        assert omp.mode == WaitMode.SPIN and omp.blocktime_us == 200_000
+
+    def test_labels(self):
+        assert WaitPolicy.upc_sleep().label == "sleep"
+        assert WaitPolicy.omp_infinite().label == "spin"
+        assert "blocktime200ms" in WaitPolicy.omp_default().label
+
+    def test_parties_validation(self):
+        system = System(presets.uniform(2), seed=0)
+        with pytest.raises(ValueError):
+            Barrier(system, parties=0)
+
+
+class TestRelease:
+    @pytest.mark.parametrize("mode", [WaitMode.SPIN, WaitMode.YIELD, WaitMode.SLEEP])
+    def test_all_parties_proceed(self, mode):
+        system, barrier, tasks = build(3, mode, [10_000, 20_000, 30_000])
+        system.run()
+        assert all(t.state == TaskState.FINISHED for t in tasks)
+        assert barrier.generation == 1
+        assert barrier.releases == 1
+
+    def test_single_party_never_waits(self):
+        system, barrier, tasks = build(1, WaitMode.SLEEP, [5_000])
+        system.run()
+        assert tasks[0].finished_at == 5_000
+        assert barrier.releases == 1
+
+    @pytest.mark.parametrize("mode", [WaitMode.SPIN, WaitMode.YIELD, WaitMode.SLEEP])
+    def test_finish_gated_by_slowest(self, mode):
+        system, _, tasks = build(2, mode, [1_000, 50_000])
+        system.run()
+        assert tasks[0].finished_at >= 50_000
+
+    def test_reusable_across_generations(self):
+        system, barrier, tasks = build(2, WaitMode.SLEEP, [5_000, 5_000], iterations=4)
+        system.run()
+        assert barrier.generation == 4
+        assert all(t.state == TaskState.FINISHED for t in tasks)
+
+    def test_wait_accounting_accumulates(self):
+        system, barrier, _ = build(2, WaitMode.SLEEP, [1_000, 21_000])
+        system.run()
+        # the fast thread waited ~20ms
+        assert barrier.total_wait_us == pytest.approx(20_000, rel=0.05)
+
+    def test_sleep_wake_latency_applied(self):
+        system = System(presets.uniform(2), seed=0)
+        system.set_balancer(NoBalancer())
+        policy = WaitPolicy(mode=WaitMode.SLEEP, wake_latency_us=5_000)
+        barrier = Barrier(system, parties=2, policy=policy)
+        tasks = []
+        for i, w in enumerate([1_000, 11_000]):
+            t = Task(program=PhaseProgram(barrier, w), name=f"t{i}")
+            t.pin({i})
+            tasks.append(t)
+        system.spawn_burst(tasks)
+        system.run()
+        # fast sleeper resumes ~5ms after the release at 11ms
+        assert tasks[0].finished_at >= 16_000
+
+    def test_waiter_states_while_waiting(self):
+        system, _, tasks = build(2, WaitMode.SLEEP, [1_000, 50_000])
+        system.run(until=10_000)
+        assert tasks[0].state == TaskState.SLEEPING
+        assert tasks[0].waiting_on is not None
+        system.run()
+        assert tasks[0].waiting_on is None
+
+    def test_yield_waiter_stays_runnable(self):
+        system, _, tasks = build(2, WaitMode.YIELD, [1_000, 50_000])
+        system.run(until=10_000)
+        assert tasks[0].state in (TaskState.RUNNABLE, TaskState.RUNNING)
+        assert system.cores[0].nr_running == 1  # counted as load!
+
+    def test_sleep_waiter_off_runqueue(self):
+        system, _, tasks = build(2, WaitMode.SLEEP, [1_000, 50_000])
+        system.run(until=10_000)
+        assert system.cores[0].nr_running == 0  # invisible to LOAD
+
+
+class TestBlocktime:
+    def test_spin_then_sleep_conversion(self):
+        system, _, tasks = build(
+            2, WaitMode.SPIN, [1_000, 100_000], blocktime_us=20_000
+        )
+        system.run(until=50_000)
+        t = tasks[0]
+        assert t.state == TaskState.SLEEPING
+        # spun for the blocktime window, then stopped consuming CPU
+        assert t.exec_us == pytest.approx(21_000, rel=0.1)
+        system.run()
+        assert t.state == TaskState.FINISHED
+
+    def test_release_before_blocktime_expires(self):
+        system, _, tasks = build(
+            2, WaitMode.SPIN, [1_000, 5_000], blocktime_us=200_000
+        )
+        system.run()
+        t = tasks[0]
+        assert t.state == TaskState.FINISHED
+        # never slept: release arrived during the spin window
+        assert t.exec_us == pytest.approx(5_000, rel=0.1)
+
+    def test_infinite_blocktime_never_sleeps(self):
+        system, _, tasks = build(2, WaitMode.SPIN, [1_000, 60_000])
+        system.run(until=50_000)
+        assert tasks[0].state in (TaskState.RUNNABLE, TaskState.RUNNING)
+        assert tasks[0].exec_us > 40_000
+
+
+class TestOversubscribedBarrier:
+    """Waiters and compute threads sharing cores."""
+
+    def test_spin_waiter_steals_half_the_core(self):
+        # t0 finishes fast and spins on core 0, where t2 computes:
+        # spinning doubles t2's completion time.
+        system = System(presets.uniform(2), seed=0)
+        system.set_balancer(NoBalancer())
+        barrier = Barrier(system, 3, WaitPolicy(mode=WaitMode.SPIN))
+        works = [1_000, 1_000, 60_000]
+        pins = [0, 1, 0]
+        tasks = []
+        for i, (w, p) in enumerate(zip(works, pins)):
+            t = Task(program=PhaseProgram(barrier, w), name=f"t{i}")
+            t.pin({p})
+            tasks.append(t)
+        system.spawn_burst(tasks)
+        system.run()
+        assert tasks[2].finished_at > 100_000
+
+    def test_yield_waiter_barely_disturbs(self):
+        system = System(presets.uniform(2), seed=0)
+        system.set_balancer(NoBalancer())
+        barrier = Barrier(system, 3, WaitPolicy(mode=WaitMode.YIELD))
+        works = [1_000, 1_000, 60_000]
+        pins = [0, 1, 0]
+        tasks = []
+        for i, (w, p) in enumerate(zip(works, pins)):
+            t = Task(program=PhaseProgram(barrier, w), name=f"t{i}")
+            t.pin({p})
+            tasks.append(t)
+        system.spawn_burst(tasks)
+        system.run()
+        assert tasks[2].finished_at < 80_000

@@ -1,0 +1,64 @@
+"""Unit tests for migration pricing."""
+
+import pytest
+
+from repro.mem.cache_model import CacheModel
+from repro.topology import presets
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+class TestMigrationCost:
+    def setup_method(self):
+        self.model = CacheModel()
+        self.tigerton = presets.tigerton()
+        self.nehalem = presets.nehalem()
+
+    def test_initial_placement_free(self):
+        assert self.model.migration_cost_us(self.tigerton, 1 * GB, None, 0) == 0.0
+
+    def test_same_core_free(self):
+        assert self.model.migration_cost_us(self.tigerton, 1 * GB, 3, 3) == 0.0
+
+    def test_smt_move_nearly_free(self):
+        cost = self.model.migration_cost_us(self.nehalem, 1 * GB, 0, 1)
+        assert cost == self.model.smt_cost_us
+
+    def test_shared_cache_move_cheap(self):
+        # tigerton cores 0,1 share the 4MB L2
+        cost = self.model.migration_cost_us(self.tigerton, 1 * GB, 0, 1)
+        assert cost == self.model.shared_cache_cost_us
+
+    def test_cross_socket_costs_refill(self):
+        cost = self.model.migration_cost_us(self.tigerton, 1 * GB, 0, 4)
+        # footprint >> 4MB L2: cost capped at max (the "2 ms" bound)
+        assert cost == self.model.max_cost_us
+
+    def test_small_footprint_hits_floor(self):
+        # EP-like: "thread migrations are cheap with a magnitude of
+        # several microseconds"
+        cost = self.model.migration_cost_us(self.tigerton, 1024, 0, 4)
+        assert cost == self.model.min_cost_us
+
+    def test_midsize_footprint_scales_linearly(self):
+        model = CacheModel(fill_bandwidth_bytes_per_us=1000.0)
+        cost = model.migration_cost_us(self.tigerton, 1 * MB, 0, 4)
+        assert cost == pytest.approx((1 * MB) / 1000.0)
+
+    def test_cost_clamped_by_destination_llc(self):
+        # only what fits in the destination cache refills
+        model = CacheModel(fill_bandwidth_bytes_per_us=4096.0, max_cost_us=10**9)
+        cost = model.migration_cost_us(self.tigerton, 100 * GB, 0, 4)
+        assert cost == pytest.approx((4 * MB) / 4096.0)
+
+    def test_barcelona_within_socket_cheap(self):
+        barcelona = presets.barcelona()
+        cost = barcelona_cost = self.model.migration_cost_us(barcelona, 1 * GB, 0, 1)
+        assert cost == self.model.shared_cache_cost_us  # shared L3
+
+    def test_cost_ordering_smt_cache_socket(self):
+        smt = self.model.migration_cost_us(self.nehalem, 64 * MB, 0, 1)
+        cache = self.model.migration_cost_us(self.tigerton, 64 * MB, 0, 1)
+        cross = self.model.migration_cost_us(self.tigerton, 64 * MB, 0, 4)
+        assert smt < cache < cross

@@ -1,0 +1,35 @@
+"""Unit tests for CFS slice computation."""
+
+from repro.sched.cfs import CfsParams
+
+
+class TestSliceFor:
+    def setup_method(self):
+        self.p = CfsParams(target_latency=24_000, min_granularity=3_000)
+
+    def test_single_task_gets_whole_period(self):
+        assert self.p.slice_for(1) == 24_000
+
+    def test_two_equal_tasks_split_period(self):
+        assert self.p.slice_for(2) == 12_000
+
+    def test_many_tasks_bounded_by_min_granularity(self):
+        # 100 tasks: period stretches to 300ms, each slice 3ms
+        assert self.p.slice_for(100) == 3_000
+
+    def test_period_stretches_when_needed(self):
+        # 10 tasks: period max(24ms, 30ms) = 30ms -> 3ms each
+        assert self.p.slice_for(10) == 3_000
+
+    def test_weighted_share(self):
+        heavy = self.p.slice_for(2, weight=2048, total_weight=3072)
+        light = self.p.slice_for(2, weight=1024, total_weight=3072)
+        assert heavy == 2 * light
+
+    def test_zero_nr_running_treated_as_one(self):
+        assert self.p.slice_for(0) == 24_000
+
+    def test_light_task_floor(self):
+        # even a tiny weight gets min_granularity
+        s = self.p.slice_for(2, weight=1, total_weight=2048)
+        assert s == 3_000

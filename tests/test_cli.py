@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        rc = main(argv)
+    return rc, buf.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_balancer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--balancer", "wfq"])
+
+    def test_rejects_unknown_bench(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--bench", "lu.Z"])
+
+
+class TestCommands:
+    def test_machines(self):
+        rc, out = run_cli(["machines"])
+        assert rc == 0
+        assert "tigerton" in out and "barcelona" in out and "nehalem" in out
+
+    def test_benches(self):
+        rc, out = run_cli(["benches"])
+        assert rc == 0
+        assert "ft.B" in out and "RSS" in out
+
+    def test_model(self):
+        rc, out = run_cli(["model", "--threads", "3", "--cores", "2"])
+        assert rc == 0
+        assert "Lemma 1 step bound" in out
+        assert "2" in out
+
+    def test_run_quick(self):
+        rc, out = run_cli([
+            "run", "--bench", "ep.C", "--threads", "4", "--cores", "2",
+            "--seconds", "0.1", "--repeats", "1",
+            "--balancer", "speed", "pinned",
+        ])
+        assert rc == 0
+        assert "SPEED" in out and "PINNED" in out
+        assert "ideal speedup 2" in out
+
+
+class TestCliErrorHandling:
+    def test_oversized_core_subset_clean_error(self, capsys):
+        rc = main([
+            "run", "--bench", "ep.C", "--threads", "4", "--cores", "20",
+            "--seconds", "0.05", "--repeats", "1", "--balancer", "speed",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "core subset" in err and "tigerton" in err
+
+    def test_zero_threads_clean_error(self, capsys):
+        rc = main([
+            "run", "--threads", "0", "--cores", "2",
+            "--seconds", "0.05", "--repeats", "1",
+        ])
+        assert rc == 2
+        assert "n_threads" in capsys.readouterr().err

@@ -1,0 +1,116 @@
+"""Tests for reduction/broadcast collectives."""
+
+import pytest
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.collectives import CollectiveSpmdApp
+from repro.balance.pinned import PinnedBalancer
+from repro.sched.task import TaskState, WaitMode
+from repro.system import System
+from repro.topology import presets
+
+
+def run_collective(n_threads=4, n_cores=4, iterations=3, work=10_000,
+                   root_work=2_000, mode=WaitMode.SLEEP, seed=0, **kwargs):
+    system = System(presets.uniform(n_cores), seed=seed)
+    system.set_balancer(PinnedBalancer())
+    app = CollectiveSpmdApp(
+        system, n_threads=n_threads, iterations=iterations, work_us=work,
+        root_work_us=root_work, wait_policy=WaitPolicy(mode=mode), **kwargs
+    )
+    app.spawn()
+    system.run_until_done([app])
+    return system, app
+
+
+class TestValidation:
+    def test_kind_checked(self):
+        system = System(presets.uniform(2), seed=0)
+        with pytest.raises(ValueError):
+            CollectiveSpmdApp(system, kind="alltoall")
+
+    def test_root_range_checked(self):
+        system = System(presets.uniform(2), seed=0)
+        with pytest.raises(ValueError):
+            CollectiveSpmdApp(system, n_threads=2, root=5)
+
+    def test_double_spawn(self):
+        system = System(presets.uniform(2), seed=0)
+        system.set_balancer(PinnedBalancer())
+        app = CollectiveSpmdApp(system, n_threads=2)
+        app.spawn()
+        with pytest.raises(RuntimeError):
+            app.spawn()
+
+
+class TestReduction:
+    @pytest.mark.parametrize("mode", [WaitMode.SPIN, WaitMode.YIELD, WaitMode.SLEEP])
+    def test_completes(self, mode):
+        system, app = run_collective(mode=mode)
+        assert app.done
+
+    def test_root_serial_phase_gates_everyone(self):
+        """elapsed >= iterations * (parallel work + root combine)."""
+        system, app = run_collective(
+            n_threads=4, iterations=3, work=10_000, root_work=5_000
+        )
+        assert app.elapsed_us >= 3 * (10_000 + 5_000)
+        # and close to it on a dedicated machine
+        assert app.elapsed_us == pytest.approx(3 * 15_000, rel=0.1)
+
+    def test_root_does_the_extra_compute(self):
+        system, app = run_collective(root_work=5_000, iterations=4)
+        root = app.tasks[app.root]
+        others = [t for i, t in enumerate(app.tasks) if i != app.root]
+        assert root.compute_us == pytest.approx(
+            others[0].compute_us + 4 * 5_000, abs=100
+        )
+
+    def test_zero_root_work_degenerates_to_barrier(self):
+        system, app = run_collective(root_work=0, iterations=3, work=10_000)
+        assert app.elapsed_us == pytest.approx(3 * 10_000, rel=0.1)
+
+    def test_nondefault_root(self):
+        system, app = run_collective(root_work=3_000, iterations=2, root=2)
+        assert app.tasks[2].compute_us > app.tasks[0].compute_us
+
+    def test_imbalanced_contributions(self):
+        system, app = run_collective(
+            work=[5_000, 5_000, 5_000, 20_000], iterations=2, root_work=1_000
+        )
+        # gated by the slowest contributor each iteration
+        assert app.elapsed_us >= 2 * 21_000
+
+    def test_total_work_accounting(self):
+        system, app = run_collective(
+            n_threads=3, iterations=2, work=4_000, root_work=1_000
+        )
+        assert app.total_work_us() == 2 * (3 * 4_000 + 1_000)
+        total_compute = sum(t.compute_us for t in app.tasks)
+        assert total_compute == pytest.approx(app.total_work_us(), abs=20)
+
+
+class TestBroadcast:
+    def test_broadcast_kind_runs(self):
+        system, app = run_collective(kind="broadcast", iterations=2)
+        assert app.done
+
+    def test_oversubscribed_with_speed_balancer(self):
+        """A reduction app under the speed balancer: completes, and the
+        serial root phases do not break the balancing."""
+        from repro.balance.linux import LinuxLoadBalancer
+        from repro.core.speed_balancer import SpeedBalancer
+
+        system = System(presets.uniform(2), seed=1)
+        system.set_balancer(LinuxLoadBalancer())
+        app = CollectiveSpmdApp(
+            system, n_threads=3, iterations=8, work_us=50_000,
+            root_work_us=2_000, wait_policy=WaitPolicy(mode=WaitMode.YIELD),
+        )
+        sb = SpeedBalancer(app, cores=[0, 1])
+        system.add_user_balancer(sb)
+        app.spawn(cores=[0, 1])
+        system.run_until_done([app])
+        assert app.done
+        # serialized floor: every iteration is >= 1.5 * work by capacity
+        assert app.elapsed_us >= 8 * int(1.5 * 50_000)

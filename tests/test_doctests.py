@@ -1,0 +1,32 @@
+"""Doctests embedded in module documentation must stay runnable."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.sim.engine
+import repro.sim.rng
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.sim.engine, repro.sim.rng],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+
+
+def test_readme_quickstart_block():
+    """The README's quickstart snippet must execute as written."""
+    from pathlib import Path
+
+    readme = (Path(__file__).resolve().parent.parent / "README.md").read_text()
+    start = readme.index("```python") + len("```python")
+    end = readme.index("```", start)
+    snippet = readme[start:end]
+    namespace: dict = {}
+    exec(compile(snippet, "<README quickstart>", "exec"), namespace)
+    assert namespace["res"].speedup > 9  # "~11 of the ideal 12"

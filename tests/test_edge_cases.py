@@ -1,0 +1,183 @@
+"""Edge cases and failure-injection tests across the stack."""
+
+import pytest
+
+from repro.apps.barriers import Barrier, WaitPolicy
+from repro.apps.spmd import SpmdApp
+from repro.apps.workloads import ep_app
+from repro.balance.linux import LinuxLoadBalancer
+from repro.balance.pinned import PinnedBalancer
+from repro.core.speed_balancer import SpeedBalancer, SpeedBalancerConfig
+from repro.sched.task import Action, Program, Task, TaskState, WaitMode
+from repro.sim.engine import SimulationError
+from repro.system import System
+from repro.topology import presets
+
+from tests.test_core_sim import OneShot, pinned_task
+
+
+class TestZeroAndTinyWork:
+    def test_zero_work_compute_completes_immediately(self):
+        system = System(presets.uniform(1), seed=0)
+        system.set_balancer(PinnedBalancer())
+        t = pinned_task(OneShot(0), 0)
+        system.spawn_burst([t])
+        system.run()
+        assert t.state == TaskState.FINISHED
+        assert t.finished_at <= 2
+
+    def test_one_microsecond_work(self):
+        system = System(presets.uniform(1), seed=0)
+        system.set_balancer(PinnedBalancer())
+        t = pinned_task(OneShot(1), 0)
+        system.spawn_burst([t])
+        system.run()
+        assert t.finished_at == 1
+
+    def test_single_thread_app_trivial_barrier(self):
+        system = System(presets.uniform(1), seed=0)
+        system.set_balancer(PinnedBalancer())
+        app = SpmdApp(system, "solo", 1, work_us=100, iterations=5,
+                      wait_policy=WaitPolicy(mode=WaitMode.SPIN))
+        app.spawn()
+        system.run_until_done([app])
+        assert app.elapsed_us == pytest.approx(500, abs=5)
+
+
+class TestMigrationDuringWaits:
+    def test_migrate_yield_waiter(self):
+        """A queued yield-waiter can be migrated; it resumes correctly."""
+        system = System(presets.uniform(2), seed=0)
+        system.set_balancer(PinnedBalancer())
+        barrier = Barrier(system, 2, WaitPolicy(mode=WaitMode.YIELD))
+
+        class P(Program):
+            def __init__(self, w):
+                self.steps = [Action.compute(w), Action.wait(barrier), Action.exit()]
+
+            def next_action(self, task, now):
+                return self.steps.pop(0)
+
+        fast = Task(program=P(1_000), name="fast")
+        slow = Task(program=P(80_000), name="slow")
+        fast.pin({0})
+        slow.pin({0})
+        system.spawn_burst([fast, slow])
+        system.run(until=30_000)
+        # fast is now waiting (yield) co-located with slow; move it away
+        fast.allowed_cores = frozenset({0, 1})
+        if fast.state == TaskState.RUNNABLE:
+            assert system.migrate(fast, 1, reason="test")
+        system.run()
+        assert fast.state == slow.state == TaskState.FINISHED
+
+    def test_forced_migration_of_spinner(self):
+        system = System(presets.uniform(2), seed=0)
+        system.set_balancer(PinnedBalancer())
+        barrier = Barrier(system, 2, WaitPolicy(mode=WaitMode.SPIN))
+
+        class P(Program):
+            def __init__(self, w):
+                self.steps = [Action.compute(w), Action.wait(barrier), Action.exit()]
+
+            def next_action(self, task, now):
+                return self.steps.pop(0)
+
+        a = Task(program=P(1_000), name="a")
+        b = Task(program=P(50_000), name="b")
+        a.pin({0})
+        b.pin({1})
+        system.spawn_burst([a, b])
+        system.run(until=10_000)
+        assert a.is_waiting  # spinning on core 0
+        a.allowed_cores = frozenset({0, 1})
+        assert system.migrate(a, 1, forced=True, reason="test")
+        system.run()
+        assert a.state == TaskState.FINISHED
+
+    def test_blocktime_expiry_exact_boundary(self):
+        """Spin deadline landing exactly on a slice boundary."""
+        system = System(presets.uniform(2), seed=0)
+        system.set_balancer(PinnedBalancer())
+        policy = WaitPolicy(mode=WaitMode.SPIN,
+                            blocktime_us=system.cfs_params.target_latency)
+        barrier = Barrier(system, 2, policy)
+
+        class P(Program):
+            def __init__(self, w):
+                self.steps = [Action.compute(w), Action.wait(barrier), Action.exit()]
+
+            def next_action(self, task, now):
+                return self.steps.pop(0)
+
+        a = Task(program=P(1_000), name="a")
+        b = Task(program=P(500_000), name="b")
+        a.pin({0})
+        b.pin({1})
+        system.spawn_burst([a, b])
+        system.run(until=200_000)
+        assert a.state == TaskState.SLEEPING
+        system.run()
+        assert a.state == TaskState.FINISHED
+
+
+class TestBalancerEdges:
+    def test_speed_balancer_single_core(self):
+        """Degenerate taskset: one core; the balancer has nothing to do."""
+        system = System(presets.uniform(1), seed=0)
+        system.set_balancer(LinuxLoadBalancer())
+        app = ep_app(system, n_threads=3, total_compute_us=50_000)
+        sb = SpeedBalancer(app, cores=[0])
+        system.add_user_balancer(sb)
+        app.spawn(cores=[0])
+        system.run_until_done([app])
+        assert sb.stats_pulls == 0
+        assert app.done
+
+    def test_speed_balancer_more_cores_than_threads(self):
+        system = System(presets.uniform(8), seed=0)
+        system.set_balancer(LinuxLoadBalancer())
+        app = ep_app(system, n_threads=3, total_compute_us=100_000)
+        sb = SpeedBalancer(app)
+        system.add_user_balancer(sb)
+        app.spawn()
+        system.run_until_done([app])
+        # one thread per core from the initial pinning: no pulls needed
+        assert app.elapsed_us == pytest.approx(100_000, rel=0.05)
+
+    def test_zero_noise_and_zero_jitter_still_works(self):
+        cfg = SpeedBalancerConfig(noise_sigma=0.0, jitter=False)
+        system = System(presets.uniform(2), seed=0)
+        system.set_balancer(LinuxLoadBalancer())
+        app = ep_app(system, n_threads=3, total_compute_us=1_000_000)
+        sb = SpeedBalancer(app, cores=[0, 1], config=cfg)
+        system.add_user_balancer(sb)
+        app.spawn(cores=[0, 1])
+        system.run_until_done([app])
+        assert sb.stats_pulls >= 2
+
+    def test_app_finishing_before_first_balance(self):
+        """App shorter than the balance interval: no balancer activity."""
+        system = System(presets.uniform(4), seed=0)
+        system.set_balancer(LinuxLoadBalancer())
+        app = ep_app(system, n_threads=4, total_compute_us=10_000)
+        sb = SpeedBalancer(app)
+        system.add_user_balancer(sb)
+        app.spawn()
+        system.run_until_done([app])
+        assert sb.stats_pulls == 0
+
+
+class TestEngineGuards:
+    def test_livelock_detected_in_system_context(self):
+        """A pathological zero-interval self-rescheduling loop trips
+        the engine's event limit instead of hanging."""
+        system = System(presets.uniform(1), seed=0)
+        system.engine.max_events = 10_000
+
+        def loop():
+            system.engine.schedule(0, loop)
+
+        system.engine.schedule(0, loop)
+        with pytest.raises(SimulationError, match="event limit"):
+            system.engine.run()

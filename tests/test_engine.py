@@ -1,0 +1,201 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_single_event_fires_at_time(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(10, lambda: fired.append(eng.now))
+        eng.run()
+        assert fired == [10]
+
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        order = []
+        eng.schedule(30, lambda: order.append("c"))
+        eng.schedule(10, lambda: order.append("a"))
+        eng.schedule(20, lambda: order.append("b"))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_time_events_fifo(self):
+        eng = Engine()
+        order = []
+        for i in range(10):
+            eng.schedule(5, lambda i=i: order.append(i))
+        eng.run()
+        assert order == list(range(10))
+
+    def test_zero_delay_runs_after_current_queue(self):
+        eng = Engine()
+        order = []
+        eng.schedule(5, lambda: order.append("first"))
+
+        def chains():
+            order.append("chain")
+            eng.schedule(0, lambda: order.append("chained"))
+
+        eng.schedule(5, chains)
+        eng.schedule(5, lambda: order.append("third"))
+        eng.run()
+        assert order == ["first", "chain", "third", "chained"]
+
+    def test_schedule_at_absolute(self):
+        eng = Engine()
+        fired = []
+        eng.schedule_at(42, lambda: fired.append(eng.now))
+        eng.run()
+        assert fired == [42]
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        eng = Engine()
+        eng.schedule(10, lambda: eng.schedule_at(5, lambda: None))
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        fired = []
+        ev = eng.schedule(10, lambda: fired.append(1))
+        ev.cancel()
+        eng.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        ev = eng.schedule(10, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        eng.run()
+
+    def test_cancel_from_another_event(self):
+        eng = Engine()
+        fired = []
+        later = eng.schedule(20, lambda: fired.append("later"))
+        eng.schedule(10, later.cancel)
+        eng.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        eng = Engine()
+        ev1 = eng.schedule(10, lambda: None)
+        eng.schedule(20, lambda: None)
+        ev1.cancel()
+        assert eng.pending == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(10, lambda: fired.append(10))
+        eng.schedule(100, lambda: fired.append(100))
+        eng.run(until=50)
+        assert fired == [10]
+        assert eng.now == 50
+
+    def test_run_until_resumes(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(10, lambda: fired.append(10))
+        eng.schedule(100, lambda: fired.append(100))
+        eng.run(until=50)
+        eng.run()
+        assert fired == [10, 100]
+
+    def test_event_exactly_at_until_fires(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(50, lambda: fired.append(50))
+        eng.run(until=50)
+        assert fired == [50]
+
+    def test_stop_ends_run(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(10, lambda: (fired.append(10), eng.stop()))
+        eng.schedule(20, lambda: fired.append(20))
+        eng.run()
+        assert fired == [10]
+        # a later run picks the remaining event up
+        eng.run()
+        assert fired == [10, 20]
+
+    def test_stop_prevents_clock_jump_to_until(self):
+        eng = Engine()
+        eng.schedule(10, eng.stop)
+        eng.run(until=1_000_000)
+        assert eng.now == 10
+
+    def test_step_dispatches_one_event(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(10, lambda: fired.append(1))
+        eng.schedule(20, lambda: fired.append(2))
+        assert eng.step()
+        assert fired == [1]
+        assert eng.step()
+        assert not eng.step()
+
+    def test_run_not_reentrant(self):
+        eng = Engine()
+        err = []
+
+        def reenter():
+            try:
+                eng.run()
+            except SimulationError as e:
+                err.append(e)
+
+        eng.schedule(1, reenter)
+        eng.run()
+        assert len(err) == 1
+
+    def test_max_events_guards_livelock(self):
+        eng = Engine(max_events=100)
+
+        def loop():
+            eng.schedule(1, loop)
+
+        eng.schedule(1, loop)
+        with pytest.raises(SimulationError, match="event limit"):
+            eng.run()
+
+    def test_dispatched_counter(self):
+        eng = Engine()
+        for i in range(5):
+            eng.schedule(i + 1, lambda: None)
+        eng.run()
+        assert eng.dispatched == 5
+
+
+class TestIntrospection:
+    def test_peek_time(self):
+        eng = Engine()
+        assert eng.peek_time() is None
+        ev = eng.schedule(10, lambda: None)
+        eng.schedule(20, lambda: None)
+        assert eng.peek_time() == 10
+        ev.cancel()
+        assert eng.peek_time() == 20
+
+    def test_event_repr_mentions_state(self):
+        eng = Engine()
+        ev = eng.schedule(10, lambda: None, label="lbl")
+        assert "pending" in repr(ev)
+        ev.cancel()
+        assert "cancelled" in repr(ev)

@@ -1,0 +1,99 @@
+"""Property-based tests for the event engine against a reference model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+# an operation is (delay, cancel_index_or_None); cancel refers to a
+# previously scheduled event by index
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1000),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=30)),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=200, deadline=None)
+def test_fire_order_matches_reference(ops):
+    """Events fire in (time, insertion) order, minus cancellations."""
+    eng = Engine()
+    fired: list[int] = []
+    events = []
+    expected = []  # (time, seq, idx) of live events
+    for idx, (delay, cancel) in enumerate(ops):
+        ev = eng.schedule(delay, lambda i=idx: fired.append(i))
+        events.append(ev)
+        expected.append([delay, idx, idx, True])
+        if cancel is not None and cancel < len(events):
+            events[cancel].cancel()
+            expected[cancel][3] = False
+    eng.run()
+    # reference: sort by (time, insertion seq), filter cancelled
+    ref = [
+        idx
+        for (t, seq, idx, live) in sorted(
+            (e[0], e[1], e[2], e[3]) for e in expected
+        )
+        if live
+    ]
+    assert fired == ref
+
+
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=30),
+    until=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=200, deadline=None)
+def test_run_until_is_resumable(delays, until):
+    """run(until) + run() fires exactly the same events as one run()."""
+    def collect(split):
+        eng = Engine()
+        fired = []
+        for d in delays:
+            eng.schedule(d, lambda d=d: fired.append(d))
+        if split:
+            eng.run(until=until)
+            assert all(d <= until for d in fired)
+            eng.run()
+        else:
+            eng.run()
+        return fired
+
+    assert collect(split=True) == collect(split=False)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_clock_is_monotone(delays):
+    eng = Engine()
+    stamps = []
+    for d in delays:
+        eng.schedule(d, lambda: stamps.append(eng.now))
+    eng.run()
+    assert stamps == sorted(stamps)
+
+
+@given(
+    chain_len=st.integers(min_value=1, max_value=20),
+    step=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_self_scheduling_chain_terminates(chain_len, step):
+    """An event chain scheduling its successor runs to completion."""
+    eng = Engine()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < chain_len:
+            eng.schedule(step, tick)
+
+    eng.schedule(0, tick)
+    eng.run()
+    assert count[0] == chain_len
+    assert eng.now == step * (chain_len - 1)

@@ -1,0 +1,109 @@
+"""Tests for result export and fairness metrics."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.apps.workloads import ep_app
+from repro.balance.linux import LinuxLoadBalancer
+from repro.core.speed_balancer import SpeedBalancer
+from repro.harness.experiment import repeat_run, run_app
+from repro.metrics.export import result_to_dict, results_to_json, trace_to_csv
+from repro.metrics.fairness import jain_index, rotation_fairness
+from repro.metrics.trace import TraceRecorder
+from repro.system import System
+from repro.topology import presets
+
+
+def quick_run(**kwargs):
+    return run_app(
+        presets.uniform(4),
+        lambda s: ep_app(s, n_threads=4, total_compute_us=50_000),
+        balancer="pinned",
+        cores=4,
+        **kwargs,
+    )
+
+
+class TestExport:
+    def test_run_dict_fields(self):
+        d = result_to_dict(quick_run())
+        assert d["type"] == "run"
+        assert d["app_name"] == "ep.C"
+        assert d["speedup"] == pytest.approx(d["total_work_us"] / d["elapsed_us"])
+        assert len(d["thread_exec_us"]) == 4
+
+    def test_repeated_dict(self):
+        rr = repeat_run(
+            presets.uniform(4),
+            lambda s: ep_app(s, n_threads=4, total_compute_us=50_000),
+            balancer="pinned", cores=4, seeds=range(2),
+        )
+        d = result_to_dict(rr)
+        assert d["type"] == "repeated"
+        assert len(d["runs"]) == 2
+        assert d["variation_pct"] >= 0
+
+    def test_json_round_trip(self):
+        doc = results_to_json([quick_run()])
+        parsed = json.loads(doc)
+        assert parsed[0]["balancer"] == "pinned"
+
+    def test_trace_csv(self):
+        tr = TraceRecorder()
+        tr.record(1, "a", 0, 0, 10, "run")
+        tr.record(2, "b", 1, 5, 25, "wait")
+        rows = list(csv.reader(io.StringIO(trace_to_csv(tr))))
+        assert rows[0] == ["tid", "task", "core", "start_us", "end_us", "kind"]
+        assert rows[1] == ["1", "a", "0", "0", "10", "run"]
+        assert len(rows) == 3
+
+
+class TestJainIndex:
+    def test_equal_allocation_is_one(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_hog_is_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_bounds(self):
+        vals = [0.1, 0.4, 0.2, 0.9]
+        j = jain_index(vals)
+        assert 1 / len(vals) <= j <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1.0, -0.5])
+
+    def test_zero_total_is_trivially_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+
+class TestRotationFairness:
+    def _run_traced(self, balancer):
+        system = System(presets.uniform(2), seed=0, trace=True)
+        system.set_balancer(LinuxLoadBalancer())
+        app = ep_app(system, n_threads=3, total_compute_us=1_500_000)
+        if balancer == "speed":
+            system.add_user_balancer(SpeedBalancer(app, cores=[0, 1]))
+        app.spawn(cores=[0, 1])
+        system.run_until_done([app])
+        return system, app
+
+    def test_speed_rotation_fairer_than_load(self):
+        """3-on-2: speed balancing equalizes the threads' CPU shares."""
+        sys_speed, app_speed = self._run_traced("speed")
+        sys_load, app_load = self._run_traced("load")
+        window = (100_000, 1_500_000)  # steady state, before the tail
+        j_speed = rotation_fairness(
+            sys_speed.trace, [t.tid for t in app_speed.tasks], *window
+        )
+        j_load = rotation_fairness(
+            sys_load.trace, [t.tid for t in app_load.tasks], *window
+        )
+        assert j_speed > j_load
+        assert j_speed > 0.95

@@ -1,0 +1,190 @@
+"""Unit tests for the Linux load balancer model ("LOAD")."""
+
+import pytest
+
+from repro.balance.linux import LinuxLoadBalancer, LinuxParams
+from repro.sched.task import Task, TaskState
+from repro.system import System
+from repro.topology import presets
+
+from tests.test_core_sim import OneShot, pinned_task
+
+
+def linux_system(machine=None, seed=0, params=None):
+    system = System(machine or presets.uniform(4), seed=seed)
+    system.set_balancer(LinuxLoadBalancer(params))
+    return system
+
+
+def movable(work_us: int, name: str = "t") -> Task:
+    return Task(program=OneShot(work_us), name=name)
+
+
+class TestPlacement:
+    def test_new_task_goes_to_least_loaded(self):
+        system = linux_system()
+        busy = [pinned_task(OneShot(500_000), c) for c in (0, 1, 2)]
+        system.spawn_burst(busy)
+        system.run(until=1_000)
+        t = movable(1_000)
+        system.spawn_burst([t], at=2_000)
+        system.run(until=2_100)
+        assert t.cur_core == 3
+
+    def test_burst_clumps_on_stale_snapshot(self):
+        """Simultaneous starters can pick the same idle core (footnote 1)."""
+        clumped = 0
+        for seed in range(20):
+            system = linux_system(presets.uniform(8), seed=seed)
+            burst = [movable(200_000, f"b{i}") for i in range(8)]
+            system.spawn_burst(burst)
+            system.run(until=500)
+            loads = system.queue_lengths()
+            if max(loads) >= 2:
+                clumped += 1
+        # with random tie-breaking among 8 equally idle cores, clumping
+        # is near-certain across 20 seeds
+        assert clumped >= 15
+
+    def test_woken_task_back_on_previous_core(self):
+        system = linux_system()
+        t = movable(1_000)
+        t.state = TaskState.SLEEPING
+        t.last_core = 2
+        system.tasks.append(t)
+        system.wake(t)
+        assert t.cur_core == 2
+
+
+class TestThreeOnTwoRule:
+    """Paper, Section 2: 'If the balance cannot be improved (e.g. one
+    group has 3 tasks and the other 2 tasks) Linux will not migrate any
+    tasks' -- and Section 3's three-threads-on-two-cores example."""
+
+    def test_two_vs_one_not_migrated(self):
+        system = linux_system(presets.uniform(2))
+        ts = [movable(2_000_000, f"t{i}") for i in range(3)]
+        for t in ts:
+            t.pin({0, 1})
+        # force the initial imbalance: 2 on core 0, 1 on core 1
+        ts[0].pin({0})
+        ts[1].pin({0})
+        ts[2].pin({1})
+        system.spawn_burst(ts)
+        system.run(until=100)
+        for t in ts:
+            t.allowed_cores = frozenset({0, 1})  # now movable
+        system.run(until=1_500_000)
+        # 2 vs 1 is not improvable: LOAD must leave it alone
+        assert sorted(system.queue_lengths()) == [1, 2]
+        assert system.total_migrations() == 0
+
+    def test_four_vs_zero_migrated(self):
+        system = linux_system(presets.uniform(2))
+        ts = [movable(3_000_000, f"t{i}") for i in range(4)]
+        for t in ts:
+            t.pin({0})
+        system.spawn_burst(ts)
+        system.run(until=100)
+        for t in ts:
+            t.allowed_cores = frozenset({0, 1})
+        system.run(until=400_000)
+        assert sorted(system.queue_lengths()) == [2, 2]
+        assert system.total_migrations() >= 1
+
+
+class TestNewIdleBalance:
+    def test_idle_core_pulls_from_busiest(self):
+        system = linux_system(presets.uniform(2))
+        short = pinned_task(OneShot(5_000), 1, name="short")
+        long1 = pinned_task(OneShot(500_000), 0, name="l1")
+        long2 = movable(500_000, "l2")
+        long2.pin({0})
+        system.spawn_burst([short, long1, long2])
+        system.run(until=100)
+        long2.allowed_cores = frozenset({0, 1})
+        system.run(until=200_000)
+        # when `short` finished, core 1 went idle and stole long2
+        assert long2.cur_core == 1
+        assert long2.migrations == 1
+
+    def test_idle_pull_takes_cache_hot_task_eventually(self):
+        """An idle core beats cache-hot resistance (second chance)."""
+        system = linux_system(presets.uniform(2))
+        short = pinned_task(OneShot(1_000), 1, name="short")
+        hot1 = pinned_task(OneShot(400_000), 0, name="h1")
+        hot2 = movable(400_000, "h2")
+        hot2.pin({0})
+        system.spawn_burst([short, hot1, hot2])
+        system.run(until=100)
+        hot2.allowed_cores = frozenset({0, 1})
+        system.run(until=50_000)
+        assert hot2.cur_core == 1
+
+    def test_never_steals_the_only_task(self):
+        system = linux_system(presets.uniform(2))
+        short = pinned_task(OneShot(1_000), 1, name="short")
+        solo = movable(500_000, "solo")
+        solo.pin({0})
+        system.spawn_burst([short, solo])
+        system.run(until=100)
+        solo.allowed_cores = frozenset({0, 1})
+        system.run(until=100_000)
+        assert solo.cur_core == 0
+        assert solo.migrations == 0
+
+
+class TestConstraints:
+    def test_pinned_tasks_never_pulled(self):
+        system = linux_system(presets.uniform(2))
+        ts = [pinned_task(OneShot(1_000_000), 0, name=f"p{i}") for i in range(4)]
+        system.spawn_burst(ts)
+        system.run(until=500_000)
+        assert system.queue_lengths()[0] == 4
+        assert system.total_migrations() == 0
+
+    def test_running_task_never_pulled(self):
+        system = linux_system(presets.uniform(2))
+        a = movable(1_000_000, "a")
+        b = movable(1_000_000, "b")
+        a.pin({0})
+        b.pin({0})
+        system.spawn_burst([a, b])
+        system.run(until=100)
+        running = system.cores[0].current
+        other = a if running is b else b
+        a.allowed_cores = b.allowed_cores = frozenset({0, 1})
+        system.run(until=12_000)
+        # only the queued one can have moved in the first balance round
+        if running.migrations:
+            pytest.fail("running task was migrated by LOAD")
+
+    def test_stats_counters_progress(self):
+        system = linux_system(presets.uniform(2))
+        ts = [movable(400_000, f"t{i}") for i in range(4)]
+        for t in ts:
+            t.pin({0})
+        system.spawn_burst(ts)
+        system.run(until=100)
+        for t in ts:
+            t.allowed_cores = frozenset({0, 1})
+        system.run(until=400_000)
+        lb = system.kernel_balancer
+        assert lb.stats_attempts > 0
+        assert lb.stats_pulls >= 1
+
+
+class TestDomainIntervals:
+    def test_params_cover_all_levels(self):
+        from repro.topology.machine import DomainLevel
+
+        p = LinuxParams()
+        for level in DomainLevel:
+            assert level in p.busy_interval_us
+            assert level in p.idle_interval_us
+            assert level in p.imbalance_pct
+
+    def test_busy_balancing_is_slower_than_idle(self):
+        p = LinuxParams()
+        for level, busy in p.busy_interval_us.items():
+            assert busy >= p.idle_interval_us[level]

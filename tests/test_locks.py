@@ -1,0 +1,129 @@
+"""Tests for the mutex and the lock-contention workload."""
+
+import pytest
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.locks import LockedCounterApp, Mutex
+from repro.balance.pinned import PinnedBalancer
+from repro.sched.task import Task, TaskState, WaitMode
+from repro.system import System
+from repro.topology import presets
+
+
+def make_system(n=4, seed=0):
+    system = System(presets.uniform(n), seed=seed)
+    system.set_balancer(PinnedBalancer())
+    return system
+
+
+def run_locked(n_threads=4, n_cores=4, iterations=5, private=5_000,
+               critical=500, mode=WaitMode.SLEEP, seed=0):
+    system = make_system(n_cores, seed)
+    app = LockedCounterApp(
+        system, n_threads=n_threads, iterations=iterations,
+        private_work_us=private, critical_work_us=critical,
+        wait_policy=WaitPolicy(mode=mode),
+    )
+    app.spawn()
+    system.run_until_done([app])
+    return system, app
+
+
+class TestMutexBasics:
+    def test_uncontended_acquire(self):
+        system = make_system()
+        m = Mutex(system)
+        t = Task()
+        assert m.arrive(t, 0)
+        assert m.holder is t
+
+    def test_contended_arrival_waits(self):
+        system = make_system()
+        m = Mutex(system, WaitPolicy(mode=WaitMode.SPIN))
+        a, b = Task(), Task()
+        assert m.arrive(a, 0)
+        assert not m.arrive(b, 0)
+        assert b.waiting_on is m
+        assert m.contended_acquisitions == 1
+
+    def test_release_hands_off_fifo(self):
+        system = make_system()
+        m = Mutex(system, WaitPolicy(mode=WaitMode.SPIN))
+        a, b, c = Task(), Task(), Task()
+        m.arrive(a, 0)
+        m.arrive(b, 0)
+        m.arrive(c, 0)
+        m.release(a, 10)
+        assert m.holder is b
+        m.release(b, 20)
+        assert m.holder is c
+        assert m.total_wait_us == 10 + 20
+
+    def test_release_by_nonholder_rejected(self):
+        system = make_system()
+        m = Mutex(system)
+        a, b = Task(), Task()
+        m.arrive(a, 0)
+        with pytest.raises(RuntimeError):
+            m.release(b, 0)
+
+    def test_release_with_no_waiters_frees(self):
+        system = make_system()
+        m = Mutex(system)
+        a = Task()
+        m.arrive(a, 0)
+        m.release(a, 5)
+        assert m.holder is None
+
+
+class TestLockedCounterApp:
+    @pytest.mark.parametrize("mode", [WaitMode.SPIN, WaitMode.YIELD, WaitMode.SLEEP])
+    def test_all_threads_finish(self, mode):
+        system, app = run_locked(mode=mode)
+        assert app.done
+        assert app.mutex.holder is None
+
+    def test_critical_sections_serialize(self):
+        """Total critical time is a lower bound on elapsed."""
+        system, app = run_locked(
+            n_threads=4, iterations=10, private=100, critical=5_000
+        )
+        total_critical = 4 * 10 * 5_000
+        assert app.elapsed_us >= total_critical
+
+    def test_uncontended_runs_at_full_speed(self):
+        system, app = run_locked(n_threads=1, iterations=10)
+        assert app.elapsed_us == pytest.approx(app.total_work_us(), rel=0.02)
+
+    def test_acquisition_counts(self):
+        system, app = run_locked(n_threads=3, iterations=4)
+        assert app.mutex.acquisitions == 3 * 4
+
+    def test_sleep_waiters_leave_cores_idle(self):
+        """With long critical sections and sleeping waiters, waiting
+        threads free their cores."""
+        system, app = run_locked(
+            n_threads=4, n_cores=4, iterations=3, private=100,
+            critical=20_000, mode=WaitMode.SLEEP,
+        )
+        busy = sum(c.stats.busy_us for c in system.cores)
+        # mostly serialized on the lock: occupancy ~ total work, far
+        # below 4 cores x elapsed
+        assert busy < 2.2 * app.elapsed_us
+
+    def test_spin_waiters_burn_cores(self):
+        system, app = run_locked(
+            n_threads=4, n_cores=4, iterations=3, private=100,
+            critical=20_000, mode=WaitMode.SPIN,
+        )
+        busy = sum(c.stats.busy_us for c in system.cores)
+        assert busy > 3.0 * app.elapsed_us  # everyone burns while waiting
+
+    def test_validation(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            LockedCounterApp(system, n_threads=0)
+        app = LockedCounterApp(system, n_threads=1)
+        app.spawn()
+        with pytest.raises(RuntimeError):
+            app.spawn()

@@ -1,0 +1,54 @@
+"""The public API surface: imports, __all__ consistency, versioning."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.topology",
+    "repro.sched",
+    "repro.balance",
+    "repro.core",
+    "repro.apps",
+    "repro.mem",
+    "repro.metrics",
+    "repro.harness",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        mod = importlib.import_module(name)
+        assert mod is not None
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_entries_resolve(self, name):
+        mod = importlib.import_module(name)
+        for sym in getattr(mod, "__all__", []):
+            assert hasattr(mod, sym), f"{name}.__all__ lists missing {sym}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_convenience(self):
+        import repro
+
+        assert callable(repro.run_app)
+        assert callable(repro.repeat_run)
+        assert repro.SpeedBalancer is not None
+        assert repro.System is not None
+
+    def test_docstrings_everywhere(self):
+        """Every public module and public symbol carries a docstring."""
+        for name in PACKAGES:
+            mod = importlib.import_module(name)
+            assert mod.__doc__, f"{name} has no module docstring"
+            for sym in getattr(mod, "__all__", []):
+                obj = getattr(mod, sym)
+                if hasattr(obj, "__doc__") and not isinstance(obj, dict):
+                    assert obj.__doc__, f"{name}.{sym} has no docstring"

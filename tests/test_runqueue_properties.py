@@ -1,0 +1,109 @@
+"""Property-based model checking of the run queues."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.runqueue import CfsRunQueue, O1RunQueue
+from repro.sched.task import Task
+
+# operation stream: ("push", vruntime) | ("pop",) | ("remove", index)
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.floats(min_value=0, max_value=1e6,
+                                             allow_nan=False)),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=40)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(ops=ops)
+@settings(max_examples=200, deadline=None)
+def test_cfs_queue_matches_sorted_model(ops):
+    """pop_min always returns the (vruntime, insertion) minimum of the
+    live set; removal by identity is exact."""
+    q = CfsRunQueue()
+    model: list[tuple[float, int, Task]] = []  # (vr, seq, task)
+    seq = 0
+    created: list[Task] = []
+    for op in ops:
+        if op[0] == "push":
+            t = Task()
+            t.vruntime = op[1]
+            q.push(t)
+            model.append((op[1], seq, t))
+            created.append(t)
+            seq += 1
+        elif op[0] == "pop":
+            got = q.pop_min()
+            if not model:
+                assert got is None
+            else:
+                model.sort(key=lambda e: (e[0], e[1]))
+                expect = model.pop(0)
+                assert got is expect[2]
+        else:  # remove
+            idx = op[1]
+            live = [e for e in model]
+            if idx < len(live):
+                entry = live[idx]
+                q.remove(entry[2])
+                model.remove(entry)
+    # drain: remaining pops come out in order
+    model.sort(key=lambda e: (e[0], e[1]))
+    drained = []
+    while True:
+        t = q.pop_min()
+        if t is None:
+            break
+        drained.append(t)
+    assert drained == [e[2] for e in model]
+    assert len(q) == 0
+
+
+@given(ops=ops)
+@settings(max_examples=200, deadline=None)
+def test_o1_queue_matches_fifo_model(ops):
+    """The O(1) facade is FIFO with respect to pushes, regardless of
+    vruntime, and removal-safe."""
+    q = O1RunQueue()
+    model: list[Task] = []
+    for op in ops:
+        if op[0] == "push":
+            t = Task()
+            t.vruntime = op[1]
+            q.push(t)
+            model.append(t)
+        elif op[0] == "pop":
+            got = q.pop_min()
+            if not model:
+                assert got is None
+            else:
+                assert got is model.pop(0)
+        else:
+            idx = op[1]
+            if idx < len(model):
+                t = model.pop(idx)
+                q.remove(t)
+        assert len(q) == len(model)
+    while model:
+        assert q.pop_min() is model.pop(0)
+
+
+@given(
+    vrs=st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                 min_size=1, max_size=40)
+)
+@settings(max_examples=200, deadline=None)
+def test_cfs_min_vruntime_monotone(vrs):
+    q = CfsRunQueue()
+    for v in vrs:
+        t = Task()
+        t.vruntime = v
+        q.push(t)
+    seen = []
+    while q.pop_min() is not None:
+        seen.append(q.min_vruntime)
+    assert seen == sorted(seen)

@@ -1,0 +1,72 @@
+"""Smoke tests for the named harness scenarios (tiny parameters).
+
+The full-size versions run in benchmarks/; these verify the scenario
+plumbing (factories, keys, aggregation) quickly.
+"""
+
+from repro.harness import scenarios
+from repro.metrics.results import RepeatedResult
+
+
+class TestEpSpeedupSeries:
+    def test_returns_per_core_results(self):
+        out = scenarios.ep_speedup_series(
+            balancer="pinned", core_counts=[2, 4], seeds=range(2),
+            total_compute_us=50_000,
+        )
+        assert set(out) == {2, 4}
+        assert all(isinstance(v, RepeatedResult) for v in out.values())
+        assert out[4].mean_speedup > out[2].mean_speedup
+
+    def test_one_per_core_scales(self):
+        out = scenarios.ep_speedup_series(
+            one_per_core=True, core_counts=[2, 4], seeds=range(2),
+            total_compute_us=50_000,
+        )
+        assert out[4].mean_speedup > 3.5
+
+
+class TestBalanceIntervalSweep:
+    def test_keys_are_period_interval_pairs(self):
+        out = scenarios.balance_interval_sweep(
+            barrier_periods_us=[1_000],
+            balance_intervals_us=[50_000],
+            total_compute_us=50_000,
+            seeds=range(1),
+        )
+        assert list(out) == [(1_000, 50_000)]
+
+
+class TestNpbImprovement:
+    def test_grid_keys(self):
+        out = scenarios.npb_improvement(
+            benches=["sp.A"], core_counts=[4], balancers=["pinned"],
+            seeds=range(1), total_compute_us=20_000,
+        )
+        assert list(out) == [("sp.A", 4, "pinned")]
+
+
+class TestCpuHogSeries:
+    def test_hog_limits_one_per_core(self):
+        out = scenarios.cpu_hog_series(
+            balancer="pinned", one_per_core=True, core_counts=[2],
+            seeds=range(1), total_compute_us=50_000,
+        )
+        # one thread per core with a hog on core 0: half speed
+        assert out[2].mean_speedup < 1.3
+
+
+class TestMakeShareSeries:
+    def test_returns_bench_mode_grid(self):
+        out = scenarios.make_share_series(
+            benches=["sp.A"], balancers=["pinned"], seeds=range(1),
+            total_compute_us=20_000, j=2,
+        )
+        assert list(out) == [("sp.A", "pinned")]
+
+
+class TestWaitPolicies:
+    def test_registry_contents(self):
+        assert set(scenarios.WAIT_POLICIES) >= {
+            "yield", "sleep", "spin", "omp-default", "omp-infinite",
+        }

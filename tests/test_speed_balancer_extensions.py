@@ -1,0 +1,117 @@
+"""Tests for the paper's proposed extensions (future work, Section 5/6).
+
+* SMT speed weighting ("we intend to weight the speed of a task
+  according to the state of the other hardware context");
+* adaptive balance interval ("increasing heuristics to dynamically
+  adjust the balancing interval");
+* dynamic parallelism (footnote 6: the balancer keeps polling the task
+  list, so threads created mid-run are picked up).
+"""
+
+import pytest
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.spmd import SpmdApp, SpmdThreadProgram
+from repro.balance.linux import LinuxLoadBalancer
+from repro.core.speed_balancer import SpeedBalancer, SpeedBalancerConfig
+from repro.sched.task import Task, WaitMode
+from repro.system import System
+from repro.topology import presets
+
+
+def build(machine, n_threads, cores=None, config=None, seed=0, work=1_000_000):
+    system = System(machine, seed=seed)
+    system.set_balancer(LinuxLoadBalancer())
+    app = SpmdApp(
+        system, "app", n_threads, work_us=work, iterations=1,
+        wait_policy=WaitPolicy(mode=WaitMode.YIELD),
+        barrier_every_iteration=False,
+    )
+    sb = SpeedBalancer(app, cores=cores, config=config)
+    system.add_user_balancer(sb)
+    return system, app, sb
+
+
+class TestSmtWeighting:
+    def test_busy_sibling_derates_published_speed(self):
+        cfg = SpeedBalancerConfig(smt_weighting=True, noise_sigma=0.0)
+        machine = presets.nehalem()
+        system, app, sb = build(machine, n_threads=2, cores=[0, 1], config=cfg)
+        app.spawn(cores=[0, 1])
+        system.run(until=450_000)
+        # contexts 0 and 1 are SMT siblings, both busy: published
+        # speeds carry the derate
+        assert sb.core_speed[0] == pytest.approx(machine.smt_derate, rel=0.1)
+
+    def test_disabled_by_default(self):
+        machine = presets.nehalem()
+        cfg = SpeedBalancerConfig(noise_sigma=0.0)
+        system, app, sb = build(machine, n_threads=2, cores=[0, 1], config=cfg)
+        app.spawn(cores=[0, 1])
+        system.run(until=450_000)
+        assert sb.core_speed[0] == pytest.approx(1.0, rel=0.1)
+
+
+class TestAdaptiveInterval:
+    def test_balanced_app_backs_off(self):
+        cfg = SpeedBalancerConfig(adaptive_interval=True, jitter=False)
+        system, app, sb = build(presets.uniform(4), n_threads=4, config=cfg,
+                                work=3_000_000)
+        app.spawn()
+        system.run_until_done([app])
+        # 4 threads on 4 cores: never a pull; intervals grew to the cap
+        assert max(sb._interval_factor.values()) == cfg.adaptive_max_factor
+        # and fewer wake-ups happened than with the fixed interval
+        fixed_cfg = SpeedBalancerConfig(adaptive_interval=False, jitter=False)
+        system2, app2, sb2 = build(presets.uniform(4), n_threads=4,
+                                   config=fixed_cfg, work=3_000_000)
+        app2.spawn()
+        system2.run_until_done([app2])
+        assert sb.stats_wakeups < sb2.stats_wakeups
+
+    def test_imbalanced_app_stays_fast(self):
+        cfg = SpeedBalancerConfig(adaptive_interval=True)
+        system, app, sb = build(presets.uniform(2), n_threads=3,
+                                cores=[0, 1], config=cfg, work=2_000_000)
+        app.spawn(cores=[0, 1])
+        system.run_until_done([app])
+        # rotation continues; performance must match the fixed interval
+        assert sb.stats_pulls >= 2
+        assert app.elapsed_us < 1.25 * (3 * 2_000_000 / 2)
+
+
+class TestDynamicParallelism:
+    def test_late_thread_is_balanced(self):
+        """A thread created mid-run joins the balancer's rotation."""
+        system, app, sb = build(presets.uniform(2), n_threads=2,
+                                cores=[0, 1], work=2_000_000)
+        app.spawn(cores=[0, 1])
+
+        late = Task(
+            program=SpmdThreadProgram(app, rank=0),
+            name="app.late",
+            app_id="app",
+        )
+        late.pin(frozenset({0, 1}))
+        # skip the barrier bookkeeping: give the late thread plain work
+        from repro.sched.task import Action, Program
+
+        class PlainWork(Program):
+            def __init__(self):
+                self.done = False
+
+            def next_action(self, task, now):
+                if self.done:
+                    return Action.exit()
+                self.done = True
+                return Action.compute(2_000_000)
+
+        late.program = PlainWork()
+        app.tasks.append(late)  # /proc polling would reveal the new tid
+        system.spawn_burst([late], at=300_000)
+        system.run_until_done([app])
+        # the late thread was monitored and the trio rotated: every
+        # thread's occupancy reflects a fair share rather than one
+        # thread being stranded at half speed
+        assert late.finished_at is not None
+        assert sb.stats_pulls >= 1

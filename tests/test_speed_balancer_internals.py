@@ -1,0 +1,149 @@
+"""White-box tests for speed-balancer internals.
+
+Covers the pieces the black-box tests exercise only indirectly: the
+NUMA-aware pinning target computation, clock weighting, the per-level
+block multipliers, and the monitored-thread attribution.
+"""
+
+import pytest
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.spmd import SpmdApp
+from repro.balance.linux import LinuxLoadBalancer
+from repro.core.speed_balancer import SpeedBalancer, SpeedBalancerConfig
+from repro.sched.task import TaskState, WaitMode
+from repro.system import System
+from repro.topology import presets
+from repro.topology.machine import DomainLevel
+
+
+def make(machine, n_threads=4, cores=None, config=None, seed=0, work=500_000):
+    system = System(machine, seed=seed)
+    system.set_balancer(LinuxLoadBalancer())
+    app = SpmdApp(
+        system, "app", n_threads, work_us=work, iterations=1,
+        wait_policy=WaitPolicy(mode=WaitMode.YIELD),
+        barrier_every_iteration=False,
+    )
+    sb = SpeedBalancer(app, cores=cores, config=config)
+    system.add_user_balancer(sb)
+    return system, app, sb
+
+
+class TestPinningTargets:
+    def test_uma_plain_round_robin(self):
+        system, app, sb = make(presets.tigerton(), cores=[0, 1, 2, 3])
+        assert sb._pinning_targets(6) == [0, 1, 2, 3, 0, 1]
+
+    def test_numa_proportional_distribution(self):
+        # 10 Barcelona cores span nodes of 4+4+2 cores; 16 threads must
+        # land ~proportionally: no node at ratio 2.0 while another is at 1.5
+        system, app, sb = make(presets.barcelona(), cores=list(range(10)))
+        targets = sb._pinning_targets(16)
+        per_node = {0: 0, 1: 0, 2: 0}
+        for cid in targets:
+            per_node[system.machine.numa_node_of(cid)] += 1
+        assert per_node[2] == 3  # 2 cores get 3 threads (1.5/core)
+        assert sorted((per_node[0], per_node[1])) == [6, 7]
+
+    def test_numa_prefix_balance(self):
+        """Any prefix of the target list stays node-balanced."""
+        system, app, sb = make(presets.barcelona(), cores=list(range(8)))
+        targets = sb._pinning_targets(8)
+        for k in (2, 4, 6, 8):
+            nodes = [system.machine.numa_node_of(c) for c in targets[:k]]
+            assert abs(nodes.count(0) - nodes.count(1)) <= 1
+
+    def test_numa_awareness_can_be_disabled(self):
+        cfg = SpeedBalancerConfig(numa_aware_pinning=False)
+        system, app, sb = make(presets.barcelona(), cores=list(range(8)),
+                               config=cfg)
+        assert sb._pinning_targets(4) == [0, 1, 2, 3]
+
+    def test_no_core_overloaded_within_node(self):
+        system, app, sb = make(presets.barcelona(), cores=list(range(12)))
+        targets = sb._pinning_targets(16)
+        from collections import Counter
+
+        counts = Counter(targets)
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+
+class TestClockWeighting:
+    def test_published_speed_scaled_by_clock(self):
+        machine = presets.asymmetric([2.0, 1.0])
+        system, app, sb = make(machine, n_threads=2, work=2_000_000)
+        system.run(until=450_000)
+        # both threads run alone on their cores: raw share 1.0 each,
+        # published speeds reflect the clocks
+        assert sb.core_speed[0] == pytest.approx(2.0, rel=0.1)
+        assert sb.core_speed[1] == pytest.approx(1.0, rel=0.1)
+
+    def test_weighting_can_be_disabled(self):
+        machine = presets.asymmetric([2.0, 1.0])
+        cfg = SpeedBalancerConfig(weight_speed_by_clock=False, noise_sigma=0.0)
+        system, app, sb = make(machine, n_threads=2, config=cfg, work=2_000_000)
+        system.run(until=450_000)
+        assert sb.core_speed[0] == pytest.approx(1.0, rel=0.05)
+        assert sb.core_speed[1] == pytest.approx(1.0, rel=0.05)
+
+
+class TestBlockMultipliers:
+    def test_cache_level_multiplier_halves_block(self):
+        lvl_mult = {
+            DomainLevel.SMT: 0.5,
+            DomainLevel.CACHE: 0.5,
+            DomainLevel.SOCKET: 1.0,
+            DomainLevel.MACHINE: 1.0,
+            DomainLevel.NUMA: 1.0,
+        }
+        cfg = SpeedBalancerConfig(level_block_multiplier=lvl_mult)
+        system, app, sb = make(presets.tigerton(), n_threads=3,
+                               cores=[0, 1], config=cfg, work=2_000_000)
+        app.spawn(cores=[0, 1])
+        system.run_until_done([app])
+        halved = sb.stats_pulls
+
+        system2, app2, sb2 = make(presets.tigerton(), n_threads=3,
+                                  cores=[0, 1], work=2_000_000)
+        app2.spawn(cores=[0, 1])
+        system2.run_until_done([app2])
+        # cores 0,1 share the L2: halving their block roughly doubles
+        # the feasible migration rate
+        assert halved >= sb2.stats_pulls
+
+
+class TestMonitoredThreads:
+    def test_only_app_threads_counted(self):
+        system, app, sb = make(presets.uniform(2), n_threads=2)
+        from repro.apps.multiprogram import CpuHog
+
+        hog = CpuHog(system, core=0)
+        hog.spawn()
+        app.spawn()
+        system.run(until=5_000)
+        on0 = sb._monitored_on(0)
+        assert hog.task not in on0
+        assert all(t.app_id == "app" for t in on0)
+
+    def test_finished_threads_dropped(self):
+        system, app, sb = make(presets.uniform(4), n_threads=4, work=10_000)
+        app.spawn()
+        system.run_until_done([app])
+        for cid in range(4):
+            assert sb._monitored_on(cid) == []
+
+
+class TestLifecycle:
+    def test_balancer_stops_after_app_exits(self):
+        system, app, sb = make(presets.uniform(4), n_threads=4, work=50_000)
+        app.spawn()
+        system.run_until_done([app])
+        done_at = system.engine.now
+        system.run(until=done_at + 2_000_000)
+        # balancer wake events stop re-arming once the app is gone
+        assert system.engine.pending == 0 or sb.stats_wakeups <= 4 * 25
+
+    def test_repr(self):
+        system, app, sb = make(presets.uniform(2), n_threads=2)
+        assert "app" in repr(sb)

@@ -1,0 +1,128 @@
+"""Unit tests for the speed metric and taskstats-style estimator."""
+
+import pytest
+
+from repro.balance.base import NoBalancer
+from repro.core.speed import SpeedEstimator
+from repro.sched.task import Task, TaskState
+from repro.system import System
+from repro.topology import presets
+
+from tests.test_core_sim import OneShot, pinned_task
+
+
+def make_system(n=2, seed=0):
+    system = System(presets.uniform(n), seed=seed)
+    system.set_balancer(NoBalancer())
+    return system
+
+
+class TestSampling:
+    def test_first_sample_is_none(self):
+        system = make_system()
+        est = SpeedEstimator(system)
+        t = Task()
+        assert est.sample(t) is None
+
+    def test_full_speed_task(self):
+        system = make_system()
+        est = SpeedEstimator(system)
+        t = pinned_task(OneShot(500_000), 0)
+        system.spawn_burst([t])
+        system.run(until=10_000)
+        est.sample(t)
+        system.run(until=110_000)
+        s = est.sample(t)
+        assert s is not None
+        assert s.speed == pytest.approx(1.0, abs=0.01)
+
+    def test_shared_core_half_speed(self):
+        system = make_system()
+        est = SpeedEstimator(system)
+        a = pinned_task(OneShot(500_000), 0, name="a")
+        b = pinned_task(OneShot(500_000), 0, name="b")
+        system.spawn_burst([a, b])
+        system.run(until=10_000)
+        est.sample(a)
+        system.run(until=210_000)
+        s = est.sample(a)
+        assert s.speed == pytest.approx(0.5, abs=0.06)
+
+    def test_sleeping_task_speed_zero(self):
+        system = make_system()
+        est = SpeedEstimator(system)
+        t = Task()
+        t.state = TaskState.SLEEPING
+        est.sample(t)
+        system.engine.schedule(100_000, lambda: None)
+        system.engine.run()
+        s = est.sample(t)
+        assert s.speed == 0.0
+
+    def test_consecutive_samples_disjoint_intervals(self):
+        system = make_system()
+        est = SpeedEstimator(system)
+        t = pinned_task(OneShot(1_000_000), 0)
+        system.spawn_burst([t])
+        system.run(until=100_000)
+        est.sample(t)
+        system.run(until=200_000)
+        s1 = est.sample(t)
+        system.run(until=300_000)
+        s2 = est.sample(t)
+        assert s1.at == 200_000 and s2.at == 300_000
+        assert s2.exec_us - s1.exec_us == pytest.approx(100_000, abs=10)
+
+    def test_zero_elapsed_returns_none(self):
+        system = make_system()
+        est = SpeedEstimator(system)
+        t = Task()
+        est.sample(t)
+        assert est.sample(t) is None  # same instant
+
+    def test_forget_resets_snapshot(self):
+        system = make_system()
+        est = SpeedEstimator(system)
+        t = Task()
+        est.sample(t)
+        est.forget(t)
+        system.engine.schedule(1000, lambda: None)
+        system.engine.run()
+        assert est.sample(t) is None  # first sample again
+
+
+class TestNoise:
+    def test_noise_perturbs_speed(self):
+        system = make_system()
+        noisy = SpeedEstimator(system, noise_sigma=0.1)
+        t = pinned_task(OneShot(1_000_000), 0)
+        system.spawn_burst([t])
+        system.run(until=100_000)
+        noisy.sample(t)
+        speeds = []
+        for stop in range(200_000, 700_000, 100_000):
+            system.run(until=stop)
+            speeds.append(noisy.sample(t).speed)
+        assert len({round(s, 6) for s in speeds}) > 1
+
+    def test_noise_clamped_to_sane_range(self):
+        system = make_system()
+        est = SpeedEstimator(system, noise_sigma=5.0)  # absurd noise
+        t = pinned_task(OneShot(1_000_000), 0)
+        system.spawn_burst([t])
+        system.run(until=100_000)
+        est.sample(t)
+        for stop in range(200_000, 900_000, 100_000):
+            system.run(until=stop)
+            s = est.sample(t)
+            assert 0.0 <= s.speed <= 1.5
+
+    def test_zero_sigma_is_exact(self):
+        system = make_system()
+        est = SpeedEstimator(system, noise_sigma=0.0)
+        t = pinned_task(OneShot(500_000), 0)
+        system.spawn_burst([t])
+        system.run(until=100_000)
+        est.sample(t)
+        system.run(until=200_000)
+        assert est.sample(t).speed == pytest.approx(1.0, abs=1e-6)

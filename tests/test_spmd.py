@@ -1,0 +1,149 @@
+"""Unit tests for the SPMD application model."""
+
+import pytest
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.spmd import SpmdApp
+from repro.balance.pinned import PinnedBalancer
+from repro.sched.task import TaskState, WaitMode
+from repro.system import System
+from repro.topology import presets
+
+from tests.conftest import make_spmd
+
+
+def pinned_system(n=4, seed=0):
+    system = System(presets.uniform(n), seed=seed)
+    system.set_balancer(PinnedBalancer())
+    return system
+
+
+class TestConstruction:
+    def test_creates_named_tasks(self, uniform4):
+        app = make_spmd(uniform4, n_threads=3, name="x")
+        assert [t.name for t in app.tasks] == ["x.t0", "x.t1", "x.t2"]
+        assert all(t.app_id == "x" for t in app.tasks)
+
+    def test_validation(self, uniform4):
+        with pytest.raises(ValueError):
+            make_spmd(uniform4, n_threads=0)
+        with pytest.raises(ValueError):
+            make_spmd(uniform4, iterations=0)
+
+    def test_work_for_scalar(self, uniform4):
+        app = make_spmd(uniform4, work_us=500)
+        assert app.work_for(0, 0) == 500
+
+    def test_work_for_sequence(self, uniform4):
+        app = SpmdApp(uniform4, "a", 2, work_us=[100, 200], iterations=1)
+        assert app.work_for(0, 0) == 100
+        assert app.work_for(1, 0) == 200
+
+    def test_work_for_callable(self, uniform4):
+        app = SpmdApp(uniform4, "a", 2, work_us=lambda r, i: 10 * (r + i + 1))
+        assert app.work_for(1, 2) == 40
+
+    def test_total_work(self, uniform4):
+        app = make_spmd(uniform4, n_threads=4, work_us=100, iterations=3)
+        assert app.total_work_us() == 4 * 100 * 3
+
+    def test_double_spawn_rejected(self, uniform4):
+        app = make_spmd(uniform4)
+        app.spawn()
+        with pytest.raises(RuntimeError):
+            app.spawn()
+
+    def test_unfinished_accessors_raise(self, uniform4):
+        app = make_spmd(uniform4)
+        assert not app.done
+        with pytest.raises(RuntimeError):
+            _ = app.finish_time
+
+
+class TestExecution:
+    def test_one_thread_per_core_runs_ideal(self):
+        system = pinned_system(4)
+        app = make_spmd(system, n_threads=4, work_us=10_000, iterations=2,
+                        mode=WaitMode.SLEEP)
+        app.spawn()
+        system.run_until_done([app])
+        # 2 iterations x 10ms, barriers nearly free when balanced
+        assert app.elapsed_us == pytest.approx(20_000, rel=0.05)
+        assert app.done
+
+    def test_thread_count_beyond_cores(self):
+        system = pinned_system(2)
+        app = make_spmd(system, n_threads=4, work_us=10_000, iterations=2,
+                        mode=WaitMode.SLEEP)
+        app.spawn()
+        system.run_until_done([app])
+        # 2 threads per core: every phase takes 2x
+        assert app.elapsed_us == pytest.approx(40_000, rel=0.06)
+
+    def test_core_subset_restricts_threads(self):
+        system = pinned_system(4)
+        app = make_spmd(system, n_threads=4, work_us=5_000, iterations=1)
+        app.spawn(cores=[0, 1])
+        system.run_until_done([app])
+        assert all((t.last_core or 0) in (0, 1) for t in app.tasks)
+        assert app.elapsed_us >= 10_000
+
+    def test_imbalanced_work_gated_by_slowest(self):
+        system = pinned_system(4)
+        app = SpmdApp(
+            system, "imb", 4, work_us=[1_000, 1_000, 1_000, 40_000],
+            iterations=1, wait_policy=WaitPolicy(mode=WaitMode.SLEEP),
+        )
+        app.spawn()
+        system.run_until_done([app])
+        assert app.elapsed_us == pytest.approx(40_000, rel=0.05)
+
+    def test_per_iteration_barriers_synchronize(self):
+        """With barriers every iteration, a fast thread cannot run ahead."""
+        system = pinned_system(2)
+        app = SpmdApp(
+            system, "sync", 2, work_us=[1_000, 10_000], iterations=5,
+            wait_policy=WaitPolicy(mode=WaitMode.SLEEP),
+        )
+        app.spawn()
+        system.run_until_done([app])
+        assert app.elapsed_us == pytest.approx(50_000, rel=0.05)
+
+    def test_ep_mode_skips_intermediate_barriers(self):
+        """barrier_every_iteration=False lets threads run ahead freely."""
+        system = pinned_system(2)
+        app = SpmdApp(
+            system, "ep", 2, work_us=[1_000, 10_000], iterations=5,
+            wait_policy=WaitPolicy(mode=WaitMode.SLEEP),
+            barrier_every_iteration=False,
+        )
+        app.spawn()
+        system.run_until_done([app])
+        fast = app.tasks[0]
+        # the fast thread's compute finished long before the barrier
+        assert fast.compute_us == pytest.approx(5_000, abs=100)
+        assert app.elapsed_us == pytest.approx(50_000, rel=0.05)
+
+    def test_migrations_counter(self, uniform4):
+        app = make_spmd(uniform4)
+        assert app.migrations() == 0
+
+    def test_elapsed_and_times(self):
+        system = pinned_system(2)
+        app = make_spmd(system, n_threads=2, work_us=2_000, iterations=1,
+                        mode=WaitMode.SLEEP)
+        app.spawn(at=1_000)
+        system.run_until_done([app])
+        assert app.start_time == 1_000
+        assert app.finish_time > app.start_time
+        assert app.elapsed_us == app.finish_time - app.start_time
+
+
+class TestProgramIterationTracking:
+    def test_iteration_property_progresses(self):
+        system = pinned_system(1)
+        app = make_spmd(system, n_threads=1, work_us=1_000, iterations=3,
+                        mode=WaitMode.SLEEP)
+        app.spawn()
+        system.run_until_done([app])
+        assert app.tasks[0].program.iteration == 3

@@ -1,0 +1,104 @@
+"""Stress tests: larger machines, multiple apps, invariant checks.
+
+The paper argues its distributed algorithm scales with core count
+(Figure 1 discussion); these tests run configurations beyond the
+16-core evaluation machines and check that nothing structural breaks:
+accounting stays exact, apps stay isolated, and speed balancing keeps
+its advantage.
+"""
+
+import pytest
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.multiprogram import CpuHog
+from repro.apps.workloads import ep_app
+from repro.balance.linux import LinuxLoadBalancer
+from repro.core.speed_balancer import SpeedBalancer
+from repro.harness.experiment import run_app
+from repro.sched.task import TaskState, WaitMode
+from repro.system import System
+from repro.topology import presets
+
+YIELD = WaitPolicy(mode=WaitMode.YIELD)
+
+
+@pytest.mark.slow
+class TestLargeMachines:
+    def test_64_core_oversubscription(self):
+        """96 threads on 64 cores: the 16-on-12 story at 4x scale."""
+        machine = presets.uniform(64, cores_per_socket=8)
+
+        def factory(system):
+            return ep_app(system, n_threads=96, wait_policy=YIELD,
+                          total_compute_us=800_000)
+
+        speed = run_app(machine, factory, "speed", seed=0)
+        load = run_app(
+            presets.uniform(64, cores_per_socket=8), factory, "load", seed=0
+        )
+        # capacity ideal: 96*0.8s/64 = 1.2s; LOAD stuck at ~1.6s
+        assert speed.elapsed_us < 0.92 * load.elapsed_us
+        assert speed.speedup > 50
+
+    def test_accounting_exact_at_scale(self):
+        machine = presets.uniform(32, cores_per_socket=8)
+
+        def factory(system):
+            return ep_app(system, n_threads=48, wait_policy=YIELD,
+                          total_compute_us=300_000)
+
+        res, system = run_app(machine, factory, "speed", seed=1,
+                              return_system=True)
+        total_busy = sum(c.stats.busy_us for c in system.cores)
+        total_exec = sum(t.exec_us for t in system.tasks)
+        assert total_busy == total_exec
+
+
+@pytest.mark.slow
+class TestMultipleApps:
+    def test_two_speed_balanced_apps_coexist(self):
+        """Two apps, each with its own speedbalancer on its own core
+        subset -- the paper's 'apply speed balancing to a particular
+        parallel application' usage."""
+        system = System(presets.tigerton(), seed=2)
+        system.set_balancer(LinuxLoadBalancer())
+        app_a = ep_app(system, n_threads=12, wait_policy=YIELD,
+                       total_compute_us=800_000)
+        app_a.name = "ep.C"  # default
+        app_b = ep_app(system, n_threads=10, wait_policy=YIELD,
+                       total_compute_us=800_000)
+        # distinct app ids so the balancers don't cross-manage
+        for t in app_b.tasks:
+            t.app_id = "ep.B"
+        app_b.name = "ep.B"
+        sb_a = SpeedBalancer(app_a, cores=list(range(0, 8)))
+        sb_b = SpeedBalancer(app_b, cores=list(range(8, 16)))
+        system.add_user_balancer(sb_a)
+        system.add_user_balancer(sb_b)
+        app_a.spawn(cores=list(range(0, 8)))
+        app_b.spawn(cores=list(range(8, 16)))
+        system.run_until_done([app_a, app_b])
+        # isolation: every thread stayed inside its subset
+        for t in app_a.tasks:
+            assert t.last_core in range(0, 8)
+        for t in app_b.tasks:
+            assert t.last_core in range(8, 16)
+        # both rotated toward their capacity shares (12 on 8, 10 on 8)
+        assert app_a.elapsed_us < 1.35 * (12 * 800_000 / 8)
+        assert app_b.elapsed_us < 1.35 * (10 * 800_000 / 8)
+
+    def test_app_with_many_hogs(self):
+        """EP against 4 pinned hogs: capacity 12 of 16 cores."""
+
+        def factory(system):
+            return ep_app(system, n_threads=16, wait_policy=YIELD,
+                          total_compute_us=600_000)
+
+        res = run_app(
+            presets.tigerton, factory, "speed", cores=16, seed=3,
+            corunner_factories=[
+                (lambda c: (lambda s: CpuHog(s, core=c)))(c) for c in range(4)
+            ],
+        )
+        # fair split: 16 threads share 16 - 4*0.5 = 14 effective cores
+        assert res.speedup > 10.0

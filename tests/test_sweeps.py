@@ -1,0 +1,77 @@
+"""Tests for the generic sweep helper and extended catalog."""
+
+import pytest
+
+from repro.apps.workloads import FULL_CATALOG, NAS_EXTENDED_CATALOG, make_nas_app
+from repro.harness.sweeps import SweepResult, sweep
+
+
+class TestSweep:
+    def test_cartesian_coverage(self):
+        result = sweep(
+            {"a": [1, 2], "b": [10, 20, 30]},
+            lambda a, b: a * b,
+        )
+        assert len(result) == 6
+        assert result.get(a=2, b=30) == 60
+
+    def test_series_extraction_sorted(self):
+        result = sweep(
+            {"x": [3, 1, 2], "mode": ["m", "n"]},
+            lambda x, mode: x * (1 if mode == "m" else 100),
+        )
+        xs, ys = result.series("x", mode="n")
+        assert xs == [1, 2, 3]
+        assert ys == [100, 200, 300]
+
+    def test_series_requires_full_fixing(self):
+        result = sweep({"x": [1], "y": [1, 2]}, lambda x, y: x + y)
+        with pytest.raises(ValueError, match="needs values"):
+            result.series("x")
+        with pytest.raises(KeyError):
+            result.series("z", y=1)
+
+    def test_progress_callback(self):
+        seen = []
+        sweep({"a": [1, 2]}, lambda a: a, progress=lambda p, o: seen.append((p, o)))
+        assert seen == [({"a": 1}, 1), ({"a": 2}, 2)]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sweep({}, lambda: None)
+
+    def test_end_to_end_with_harness(self):
+        from repro.apps.workloads import ep_app
+        from repro.harness.experiment import run_app
+        from repro.topology import presets
+
+        result = sweep(
+            {"cores": [2, 4], "balancer": ["pinned", "speed"]},
+            lambda cores, balancer: run_app(
+                presets.uniform(4),
+                lambda s: ep_app(s, n_threads=4, total_compute_us=40_000),
+                balancer=balancer,
+                cores=cores,
+            ).speedup,
+        )
+        xs, ys = result.series("cores", balancer="pinned")
+        assert xs == [2, 4]
+        assert ys[1] > ys[0]
+
+
+class TestExtendedCatalog:
+    def test_union_view(self):
+        assert set(FULL_CATALOG) >= set(NAS_EXTENDED_CATALOG)
+        assert "mg.B" in FULL_CATALOG and "lu.A" in FULL_CATALOG
+
+    def test_extended_entries_runnable(self, tigerton_system):
+        app = make_nas_app(tigerton_system, "lu.A", n_threads=4,
+                           total_compute_us=20_000)
+        app.spawn(cores=[0, 1, 2, 3])
+        tigerton_system.run_until_done([app])
+        assert app.done
+
+    def test_extended_marked_distinct_from_paper_table(self):
+        from repro.apps.workloads import NAS_CATALOG
+
+        assert not (set(NAS_CATALOG) & set(NAS_EXTENDED_CATALOG))

@@ -1,0 +1,119 @@
+"""Unit tests for the task model."""
+
+import pytest
+
+from repro.sched.task import (
+    Action,
+    ActionType,
+    Program,
+    Task,
+    TaskState,
+    nice_to_weight,
+)
+
+
+class TestNiceWeights:
+    def test_nice_zero_is_1024(self):
+        assert nice_to_weight(0) == 1024
+
+    def test_weights_decrease_with_nice(self):
+        ws = [nice_to_weight(n) for n in range(-5, 6)]
+        assert ws == sorted(ws, reverse=True)
+
+    def test_ratio_about_1_25_per_level(self):
+        assert nice_to_weight(1) == pytest.approx(1024 / 1.25, abs=1)
+
+    def test_never_below_one(self):
+        assert nice_to_weight(40) >= 1
+
+
+class TestActions:
+    def test_compute_constructor(self):
+        a = Action.compute(100)
+        assert a.type == ActionType.COMPUTE and a.work_us == 100
+
+    def test_sleep_constructor(self):
+        a = Action.sleep(5)
+        assert a.type == ActionType.SLEEP and a.sleep_us == 5
+
+    def test_exit_constructor(self):
+        assert Action.exit().type == ActionType.EXIT
+
+
+class TestTaskBasics:
+    def test_defaults(self):
+        t = Task()
+        assert t.state == TaskState.NEW
+        assert t.exec_us == 0
+        assert t.migrations == 0
+        assert t.allowed_cores is None
+        assert not t.throttled
+
+    def test_unique_tids(self):
+        assert Task().tid != Task().tid
+
+    def test_default_program_exits(self):
+        t = Task()
+        assert t.program.next_action(t, 0).type == ActionType.EXIT
+
+    def test_name_defaults_to_tid(self):
+        t = Task()
+        assert str(t.tid) in t.name
+
+    def test_pin_and_can_run_on(self):
+        t = Task()
+        assert t.can_run_on(7)
+        t.pin({1, 2})
+        assert t.can_run_on(1) and t.can_run_on(2)
+        assert not t.can_run_on(3)
+
+    def test_nice_sets_weight(self):
+        assert Task(nice=5).weight < Task(nice=0).weight
+
+    def test_repr_contains_state(self):
+        assert "new" in repr(Task())
+
+
+class TestCacheHot:
+    def test_fresh_task_is_cold(self):
+        t = Task()
+        assert not t.cache_hot(now=10_000_000, hot_window_us=5000)
+
+    def test_recently_descheduled_is_hot(self):
+        t = Task()
+        t.last_descheduled_at = 1_000_000
+        assert t.cache_hot(now=1_003_000, hot_window_us=5000)
+        assert not t.cache_hot(now=1_010_000, hot_window_us=5000)
+
+    def test_running_task_always_hot(self):
+        t = Task()
+        t.state = TaskState.RUNNING
+        assert t.cache_hot(now=10**9, hot_window_us=5000)
+
+
+class TestExecTimeAt:
+    def test_not_running_returns_exec_us(self):
+        t = Task()
+        t.exec_us = 500
+        assert t.exec_time_at(10_000) == 500
+
+    def test_running_includes_inflight(self, uniform2):
+        system = uniform2
+        t = Task()
+        t.exec_us = 500
+        t.state = TaskState.RUNNING
+        core = system.cores[0]
+        core.dispatch_started_at = 0
+        system.engine.schedule(300, lambda: None)
+        system.engine.run()
+        assert t.exec_time_at(system.engine.now, core) == 800
+
+
+class TestProgramHooks:
+    def test_hooks_are_noops_by_default(self):
+        p = Program()
+        t = Task()
+        p.on_start(t, 0)
+        p.on_exit(t, 0)
+        with pytest.raises(NotImplementedError):
+            p.next_action(t, 0)

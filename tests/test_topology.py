@@ -1,0 +1,206 @@
+"""Unit tests for machines, caches and scheduling domains."""
+
+import pytest
+
+from repro.topology import presets
+from repro.topology.machine import Cache, Core, DomainLevel, Machine
+
+
+class TestTigerton:
+    """Table 1, left column."""
+
+    def setup_method(self):
+        self.m = presets.tigerton()
+
+    def test_core_count(self):
+        assert self.m.n_cores == 16
+
+    def test_uma(self):
+        assert not self.m.numa
+        assert all(c.numa_node == 0 for c in self.m.cores)
+
+    def test_four_sockets_of_four(self):
+        for s in range(4):
+            assert [c.cid for c in self.m.cores if c.socket == s] == list(
+                range(4 * s, 4 * s + 4)
+            )
+
+    def test_l2_shared_by_pairs(self):
+        cache = self.m.shared_cache(0, 1)
+        assert cache is not None and cache.level == 2
+        assert cache.size_bytes == 4 << 20
+        assert self.m.shared_cache(1, 2) is None  # different pair
+
+    def test_memory_per_core(self):
+        assert self.m.mem_per_core_bytes == 2 << 30
+
+    def test_global_memory_contention_scope(self):
+        assert self.m.mem_contention_scope == "global"
+        assert self.m.mem_contention_alpha > 0
+
+
+class TestBarcelona:
+    """Table 1, right column."""
+
+    def setup_method(self):
+        self.m = presets.barcelona()
+
+    def test_numa_nodes_are_sockets(self):
+        assert self.m.numa
+        for c in self.m.cores:
+            assert c.numa_node == c.socket == c.cid // 4
+
+    def test_l3_per_socket(self):
+        cache = self.m.shared_cache(0, 3)
+        assert cache is not None and cache.level == 3
+        assert cache.size_bytes == 2 << 20
+
+    def test_l2_private(self):
+        # 512K L2 is per core: only the socket L3 is shared
+        c = self.m.shared_cache(0, 1)
+        assert c is not None and c.level == 3
+
+    def test_node_memory_contention_scope(self):
+        assert self.m.mem_contention_scope == "node"
+
+
+class TestNehalem:
+    def setup_method(self):
+        self.m = presets.nehalem()
+
+    def test_sixteen_contexts(self):
+        assert self.m.n_cores == 16
+
+    def test_smt_siblings_symmetric(self):
+        for c in self.m.cores:
+            sib = c.smt_sibling
+            assert sib is not None
+            assert self.m.cores[sib].smt_sibling == c.cid
+
+    def test_smt_derate_below_one(self):
+        assert 0 < self.m.smt_derate < 1
+
+    def test_two_numa_nodes(self):
+        assert {c.numa_node for c in self.m.cores} == {0, 1}
+
+
+class TestGenericPresets:
+    def test_uniform_core_count(self):
+        assert presets.uniform(6).n_cores == 6
+
+    def test_uniform_numa_flag(self):
+        m = presets.uniform(8, cores_per_socket=4, numa=True)
+        assert m.numa
+        assert m.cores[0].numa_node == 0 and m.cores[7].numa_node == 1
+
+    def test_uniform_rejects_ragged_sockets(self):
+        with pytest.raises(ValueError):
+            presets.uniform(5, cores_per_socket=2)
+
+    def test_asymmetric_clock_factors(self):
+        m = presets.asymmetric([1.0, 1.5, 0.5])
+        assert [c.clock_factor for c in m.cores] == [1.0, 1.5, 0.5]
+
+    def test_asymmetric_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            presets.asymmetric([1.0, 0.0])
+
+
+class TestDomains:
+    def test_tigerton_domain_chain(self):
+        m = presets.tigerton()
+        levels = [d.level for d in m.domains_by_core[0]]
+        assert levels == [DomainLevel.CACHE, DomainLevel.SOCKET, DomainLevel.MACHINE]
+
+    def test_barcelona_domain_chain(self):
+        m = presets.barcelona()
+        levels = [d.level for d in m.domains_by_core[0]]
+        # L3 spans the socket, so the socket level collapses into CACHE
+        assert levels == [DomainLevel.CACHE, DomainLevel.NUMA]
+
+    def test_nehalem_has_smt_domain(self):
+        m = presets.nehalem()
+        levels = [d.level for d in m.domains_by_core[0]]
+        assert levels[0] == DomainLevel.SMT
+
+    def test_root_domain_spans_machine(self):
+        m = presets.tigerton()
+        assert m.root_domain is not None
+        assert m.root_domain.core_ids == tuple(range(16))
+
+    def test_top_groups_are_sockets(self):
+        m = presets.tigerton()
+        top = m.domains_by_core[0][-1]
+        assert top.groups == (
+            (0, 1, 2, 3),
+            (4, 5, 6, 7),
+            (8, 9, 10, 11),
+            (12, 13, 14, 15),
+        )
+
+    def test_group_of(self):
+        m = presets.tigerton()
+        top = m.domains_by_core[5][-1]
+        assert top.group_of(5) == (4, 5, 6, 7)
+        with pytest.raises(KeyError):
+            top.group_of(99)
+
+    def test_domain_groups_partition_span(self):
+        for m in (presets.tigerton(), presets.barcelona(), presets.nehalem()):
+            for chain in m.domains_by_core.values():
+                for dom in chain:
+                    flat = sorted(c for g in dom.groups for c in g)
+                    assert flat == sorted(dom.core_ids)
+
+
+class TestDomainLevelBetween:
+    def test_same_core_is_none(self):
+        assert presets.tigerton().domain_level_between(3, 3) is None
+
+    def test_tigerton_levels(self):
+        m = presets.tigerton()
+        assert m.domain_level_between(0, 1) == DomainLevel.CACHE  # L2 pair
+        assert m.domain_level_between(0, 2) == DomainLevel.SOCKET
+        assert m.domain_level_between(0, 4) == DomainLevel.MACHINE  # not NUMA!
+
+    def test_barcelona_levels(self):
+        m = presets.barcelona()
+        assert m.domain_level_between(0, 1) == DomainLevel.CACHE  # socket L3
+        assert m.domain_level_between(0, 4) == DomainLevel.NUMA
+
+    def test_nehalem_smt_level(self):
+        m = presets.nehalem()
+        assert m.domain_level_between(0, 1) == DomainLevel.SMT
+        assert m.domain_level_between(0, 2) == DomainLevel.CACHE  # shared L3
+        assert m.domain_level_between(0, 8) == DomainLevel.NUMA
+
+
+class TestMachineValidation:
+    def test_core_ids_must_be_dense(self):
+        with pytest.raises(ValueError):
+            Machine(
+                "bad",
+                [Core(cid=1, socket=0, numa_node=0)],
+                [],
+                numa=False,
+            )
+
+    def test_bad_contention_scope(self):
+        with pytest.raises(ValueError):
+            Machine(
+                "bad",
+                [Core(cid=0, socket=0, numa_node=0)],
+                [],
+                numa=False,
+                mem_contention_scope="bus",
+            )
+
+    def test_describe_mentions_caches(self):
+        text = presets.tigerton().describe()
+        assert "tigerton" in text
+        assert "L2" in text
+
+    def test_largest_cache_of(self):
+        m = presets.barcelona()
+        c = m.largest_cache_of(0)
+        assert c is not None and c.level == 3

@@ -1,0 +1,126 @@
+"""Tests for the execution-trace facility."""
+
+import pytest
+
+from repro.apps.barriers import WaitPolicy
+from repro.apps.workloads import ep_app
+from repro.balance.pinned import PinnedBalancer
+from repro.metrics.trace import (
+    TraceRecorder,
+    ascii_gantt,
+    core_utilization,
+    task_share,
+)
+from repro.sched.task import WaitMode
+from repro.system import System
+from repro.topology import presets
+
+
+def traced_run(n_cores=2, n_threads=3, work=60_000, mode=WaitMode.YIELD):
+    system = System(presets.uniform(n_cores), seed=0, trace=True)
+    system.set_balancer(PinnedBalancer())
+    app = ep_app(
+        system, n_threads=n_threads, total_compute_us=work,
+        wait_policy=WaitPolicy(mode=mode),
+    )
+    app.spawn()
+    system.run_until_done([app])
+    return system, app
+
+
+class TestRecorder:
+    def test_disabled_by_default(self):
+        system = System(presets.uniform(2), seed=0)
+        assert system.trace is None
+
+    def test_segments_cover_busy_time(self):
+        system, app = traced_run()
+        total = sum(s.duration for s in system.trace.segments)
+        busy = sum(c.stats.busy_us for c in system.cores)
+        assert total == busy
+
+    def test_segment_kinds(self):
+        system, app = traced_run(mode=WaitMode.SPIN)
+        kinds = {s.kind for s in system.trace.segments}
+        assert kinds == {"run", "wait"}
+
+    def test_zero_length_segments_skipped(self):
+        tr = TraceRecorder()
+        tr.record(1, "t", 0, 100, 100, "run")
+        assert tr.segments == []
+
+    def test_limit_drops_excess(self):
+        tr = TraceRecorder(limit=2)
+        for i in range(5):
+            tr.record(1, "t", 0, i * 10, i * 10 + 5, "run")
+        assert len(tr.segments) == 2
+        assert tr.dropped == 3
+
+    def test_span(self):
+        tr = TraceRecorder()
+        assert tr.span == (0, 0)
+        tr.record(1, "t", 0, 50, 80, "run")
+        tr.record(2, "u", 1, 10, 60, "run")
+        assert tr.span == (10, 80)
+
+
+class TestAnalysis:
+    def test_core_utilization_bounds(self):
+        system, app = traced_run()
+        util = core_utilization(system.trace, 2)
+        assert len(util) == 2
+        assert all(0.0 <= u <= 1.0 for u in util)
+        # both cores busy essentially the whole run (yield waiters burn)
+        assert min(util) > 0.9
+
+    def test_core_utilization_window(self):
+        tr = TraceRecorder()
+        tr.record(1, "t", 0, 0, 100, "run")
+        util = core_utilization(tr, 2, start=0, end=200)
+        assert util == [0.5, 0.0]
+
+    def test_task_share_is_speed_metric(self):
+        """task_share over a window reproduces exec/wall."""
+        system, app = traced_run(n_cores=1, n_threads=2, work=100_000)
+        t = app.tasks[0]
+        share = task_share(system.trace, t.tid, 0, 100_000)
+        assert share == pytest.approx(0.5, abs=0.1)
+
+    def test_task_share_kind_filter(self):
+        system, app = traced_run(mode=WaitMode.SPIN)
+        t0, t1, t2 = app.tasks
+        lo, hi = system.trace.span
+        run = task_share(system.trace, t1.tid, lo, hi, kind="run")
+        wait = task_share(system.trace, t1.tid, lo, hi, kind="wait")
+        both = task_share(system.trace, t1.tid, lo, hi)
+        assert both == pytest.approx(run + wait, abs=1e-9)
+
+    def test_task_share_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            task_share(TraceRecorder(), 1, 10, 10)
+
+
+class TestGantt:
+    def test_empty_trace(self):
+        assert ascii_gantt(TraceRecorder(), 2) == "(empty trace)"
+
+    def test_rows_and_width(self):
+        system, app = traced_run()
+        out = ascii_gantt(system.trace, 2, width=40)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert all(len(line) == len("core  0 ") + 40 for line in lines)
+
+    def test_wait_rendered_lowercase(self):
+        system, app = traced_run(mode=WaitMode.SPIN)
+        out = ascii_gantt(system.trace, 2, width=60)
+        body = "".join(line.split(None, 2)[2] for line in out.splitlines())
+        assert any(c.islower() for c in body if c.isalpha())
+        assert any(c.isupper() for c in body if c.isalpha())
+
+    def test_idle_dots(self):
+        tr = TraceRecorder()
+        tr.record(1, "t", 0, 0, 50, "run")
+        out = ascii_gantt(tr, 2, width=10, start=0, end=100)
+        core1 = out.splitlines()[1]
+        assert core1.endswith("." * 10)

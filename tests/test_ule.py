@@ -1,0 +1,99 @@
+"""Unit tests for the FreeBSD ULE migration model."""
+
+import pytest
+
+from repro.balance.ule import UleBalancer
+from repro.sched.task import Task
+from repro.system import System
+from repro.topology import presets
+
+from tests.test_core_sim import OneShot, pinned_task
+
+
+def ule_system(machine=None, seed=0, **kwargs):
+    system = System(machine or presets.uniform(2), seed=seed)
+    system.set_balancer(UleBalancer(**kwargs))
+    return system
+
+
+def spawn_imbalanced(system, n_busy, work_us=2_000_000, movable_after=100):
+    """n_busy long tasks pinned to core 0, then unpinned."""
+    ts = [Task(program=OneShot(work_us), name=f"t{i}") for i in range(n_busy)]
+    for t in ts:
+        t.pin({0})
+    system.spawn_burst(ts)
+    system.run(until=movable_after)
+    for t in ts:
+        t.allowed_cores = None
+    return ts
+
+
+class TestPushMigration:
+    def test_push_fixes_improvable_imbalance(self):
+        system = ule_system()
+        spawn_imbalanced(system, 4, work_us=4_000_000)
+        # one thread moves per push period (500 ms): 4v0 -> 3v1 -> 2v2
+        system.run(until=1_100_000)
+        assert sorted(system.queue_lengths()) == [2, 2]
+
+    def test_default_threshold_ignores_one_task_imbalance(self):
+        """'will not migrate threads when a static balance is not
+        attainable' (3 tasks, 2 cores)."""
+        system = ule_system()
+        spawn_imbalanced(system, 3)
+        system.run(until=1_200_000)
+        # one push happens for 3v0 -> 2v1, then no more
+        assert sorted(system.queue_lengths()) == [1, 2]
+
+    def test_steal_thresh_one_bounces_same_victim(self):
+        """With kern.sched.steal_thresh=1 the pusher has no migration
+        history: it keeps bouncing the most recently migrated thread
+        (the hot-potato the paper could not observe benefits from)."""
+        system = ule_system(steal_thresh=1)
+        ts = spawn_imbalanced(system, 3, work_us=4_000_000)
+        system.run(until=3_500_000)
+        migs = sorted(t.migrations for t in ts)
+        # one thread absorbs nearly all migrations
+        assert migs[-1] >= 3
+        assert migs[0] <= 1
+
+    def test_push_period_configurable(self):
+        fast = ule_system(push_interval_us=50_000)
+        spawn_imbalanced(fast, 4)
+        fast.run(until=120_000)
+        assert sorted(fast.queue_lengths()) == [2, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UleBalancer(steal_thresh=0)
+
+
+class TestIdleSteal:
+    def test_idle_core_steals(self):
+        system = ule_system()
+        short = pinned_task(OneShot(5_000), 1, name="short")
+        system.spawn_burst([short])
+        ts = spawn_imbalanced(system, 2)
+        system.run(until=50_000)
+        # when short ended, core 1 stole one of the two
+        assert sorted(system.queue_lengths()) == [1, 1]
+        assert system.kernel_balancer.stats_steals >= 1
+
+    def test_no_steal_of_singleton(self):
+        system = ule_system()
+        short = pinned_task(OneShot(5_000), 1, name="short")
+        solo = Task(program=OneShot(500_000), name="solo")
+        solo.pin({0})
+        system.spawn_burst([short, solo])
+        system.run(until=100)
+        solo.allowed_cores = None
+        system.run(until=100_000)
+        assert solo.cur_core == 0
+
+
+class TestStats:
+    def test_push_counter(self):
+        system = ule_system()
+        spawn_imbalanced(system, 4)
+        system.run(until=600_000)
+        assert system.kernel_balancer.stats_pushes >= 1
