@@ -18,7 +18,6 @@ This example runs ft.B (the most memory-bound Table 2 code) with
 Run:  python examples/numa_barcelona.py
 """
 
-from dataclasses import replace
 
 from repro.apps.barriers import WaitPolicy
 from repro.apps.workloads import make_nas_app

@@ -1,0 +1,49 @@
+"""Correctness tooling for the simulator: static lint + runtime invariants.
+
+The whole value of this reproduction rests on two properties that
+ordinary tests check only indirectly:
+
+* **bit-reproducibility** -- the integer-microsecond engine plus the
+  stream-separated :class:`~repro.sim.rng.SimRng` make every run a pure
+  function of its seed.  One stray iteration over an unordered ``set``
+  in a scheduling decision path, one ``time.time()`` call, or one float
+  creeping into an engine timestamp silently breaks that.
+* **the paper's invariants** -- ``speed = t_exec / t_real`` is only
+  meaningful if ``t_exec <= t_real`` and busy time is conserved; the
+  speed balancer's two-interval migration block and NUMA-domain fence
+  are only reproductions of the artifact if they actually hold.
+
+This package provides one layer per property:
+
+* :mod:`repro.analysis.lint` -- an AST-based determinism linter
+  (``python -m repro.analysis lint src/repro``) with rules SIM001..
+  SIM005, per-line suppression comments and a per-rule allowlist file;
+* :mod:`repro.analysis.invariants` -- an opt-in runtime
+  :class:`~repro.analysis.invariants.InvariantChecker` hooked into
+  :class:`~repro.sim.engine.Engine` and :class:`~repro.system.System`
+  (``repro check --invariants``), enabled for the whole test suite by
+  a conftest fixture.
+
+See ``docs/analysis.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.invariants import (
+    InvariantConfig,
+    InvariantChecker,
+    InvariantViolation,
+    install_invariant_checker,
+)
+from repro.analysis.lint import Finding, LintRule, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "lint_paths",
+    "lint_source",
+    "InvariantConfig",
+    "InvariantChecker",
+    "InvariantViolation",
+    "install_invariant_checker",
+]

@@ -1,0 +1,43 @@
+"""``python -m repro.analysis`` entry point.
+
+Subcommands::
+
+    python -m repro.analysis lint [paths...]     # determinism linter
+    python -m repro.analysis rules               # print the rule catalogue
+
+The runtime invariant checker is reached through the main CLI
+(``repro check --invariants``) because it needs a simulation to run.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.invariants import INVARIANTS
+from repro.analysis.lint import RULES, main as lint_main
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "lint":
+        return lint_main(rest)
+    if command == "rules":
+        print("Static determinism lint rules (repro.analysis.lint):")
+        for rule in RULES.values():
+            print(f"  {rule.id}  {rule.summary}")
+        print("Runtime invariants (repro.analysis.invariants):")
+        for rid, summary in INVARIANTS.items():
+            print(f"  {rid}  {summary}")
+        return 0
+    print(f"repro.analysis: unknown command {command!r} (expected 'lint' or 'rules')",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,624 @@
+"""AST-based determinism linter for the simulator sources.
+
+The simulator promises bit-reproducible runs: integer-microsecond event
+time, seeded stream-separated randomness, and scheduling decisions that
+depend only on deterministically ordered data.  This module enforces
+the coding rules that promise rests on, as a custom linter (generic
+tools cannot know that ``repro.sim.rng`` is the only legal randomness
+source, or that ``engine.now`` must stay an ``int``).
+
+Rule catalogue
+--------------
+======== =============================================================
+SIM001   Iteration over an unordered ``set``/``frozenset`` (or a
+         ``.keys()`` view) in a *scheduling-decision module* -- any
+         file under ``balance/``, ``sched/`` or ``core/``.  Iteration
+         order of a set is arbitrary, so a victim/candidate scan over
+         one makes migration decisions irreproducible.  Use
+         ``sorted(...)`` or an explicitly ordered container.
+SIM002   Use of the global :mod:`random` module (or ``numpy.random``)
+         instead of the seeded, stream-separated
+         :class:`repro.sim.rng.SimRng`.
+SIM003   Wall-clock reads -- ``time.time()``, ``time.monotonic()``,
+         ``datetime.now()`` and friends.  Simulation code must use
+         ``engine.now`` exclusively.
+SIM004   Float arithmetic on engine timestamps: true division applied
+         to ``engine.now`` (or a bare ``now``), ``float(...now)``, or
+         a float-valued delay passed to ``Engine.schedule`` /
+         ``Engine.schedule_at``.  Engine time is integer microseconds.
+SIM005   Mutable default argument (``def f(x=[])``): shared mutable
+         state across calls is a classic source of run-order coupling.
+======== =============================================================
+
+Suppression
+-----------
+Append a trailing comment on the offending line::
+
+    for cid in candidate_set:  # sim-lint: ignore[SIM001]
+
+``# sim-lint: ignore`` (no rule list) suppresses every rule on the
+line; ``# sim-lint: skip-file`` anywhere in a file skips the file.
+
+Allowlist
+---------
+A plain-text file of ``RULE  path-glob`` pairs (fnmatch against the
+POSIX form of the file path) silences a rule for whole files.  The
+shipped default (``lint_allowlist.txt`` next to this module) contains
+exactly one entry: ``repro/sim/rng.py`` may import :mod:`random`, as it
+*is* the sanctioned wrapper.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintRule",
+    "DEFAULT_ALLOWLIST",
+    "load_allowlist",
+    "lint_source",
+    "lint_paths",
+    "main",
+]
+
+#: directories whose modules make scheduling decisions (SIM001 scope)
+DECISION_DIRS = frozenset({"balance", "sched", "core"})
+
+#: wall-clock functions of the ``time`` module (SIM003)
+_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: wall-clock constructors on ``datetime``/``date`` objects (SIM003)
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+#: calls that consume an iterable order-insensitively (SIM001 exempt)
+_ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all", "frozenset", "set"}
+)
+
+#: calls whose result keeps the argument's (arbitrary) iteration order
+_ORDER_PRESERVING_CALLS = frozenset({"list", "tuple", "iter", "enumerate", "reversed"})
+
+#: int-producing wrappers that launder float arithmetic back to engine
+#: time (SIM004 exempt when they enclose the flagged expression)
+_INT_COERCIONS = frozenset({"int", "round", "ceil", "floor", "len"})
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One rule of the catalogue."""
+
+    id: str
+    summary: str
+
+
+RULES: dict[str, LintRule] = {
+    r.id: r
+    for r in (
+        LintRule("SIM001", "unordered set/dict-view iteration in a decision module"),
+        LintRule("SIM002", "global `random` module used instead of repro.sim.rng"),
+        LintRule("SIM003", "wall-clock read in simulation code"),
+        LintRule("SIM004", "float arithmetic on an engine timestamp"),
+        LintRule("SIM005", "mutable default argument"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+# ----------------------------------------------------------------------
+# allowlist
+# ----------------------------------------------------------------------
+DEFAULT_ALLOWLIST = Path(__file__).with_name("lint_allowlist.txt")
+
+
+def load_allowlist(path: Path) -> list[tuple[str, str]]:
+    """Parse ``RULE  glob`` lines; ``#`` comments and blanks ignored."""
+    entries: list[tuple[str, str]] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2 or parts[0] not in RULES:
+            raise ValueError(f"{path}:{lineno}: expected '<RULE> <path-glob>', got {raw!r}")
+        entries.append((parts[0], parts[1]))
+    return entries
+
+
+def _allowlisted(finding: Finding, allowlist: Sequence[tuple[str, str]]) -> bool:
+    posix = Path(finding.path).as_posix()
+    for rule, pattern in allowlist:
+        if rule != finding.rule:
+            continue
+        if fnmatch.fnmatch(posix, pattern) or fnmatch.fnmatch(posix, "*/" + pattern):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# suppression comments
+# ----------------------------------------------------------------------
+def _suppressed_rules(line: str) -> Optional[frozenset[str]]:
+    """Rules suppressed by a ``# sim-lint: ignore[...]`` trailing comment.
+
+    Returns None when the line carries no suppression; an empty set
+    means "suppress everything" (bare ``ignore``).
+    """
+    marker = "sim-lint:"
+    idx = line.find(marker)
+    if idx < 0 or "#" not in line[:idx]:
+        return None
+    rest = line[idx + len(marker) :].strip()
+    if not rest.startswith("ignore"):
+        return None
+    rest = rest[len("ignore") :].strip()
+    if rest.startswith("["):
+        end = rest.find("]")
+        if end < 0:
+            return None
+        rules = frozenset(r.strip() for r in rest[1:end].split(",") if r.strip())
+        return rules
+    return frozenset()  # bare ignore: all rules
+
+
+def _is_suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    rules = _suppressed_rules(lines[finding.line - 1])
+    if rules is None:
+        return False
+    return not rules or finding.rule in rules
+
+
+# ----------------------------------------------------------------------
+# the visitor
+# ----------------------------------------------------------------------
+def _is_decision_module(path: Path) -> bool:
+    return bool(DECISION_DIRS.intersection(path.parts[:-1]))
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+class _SetTracker:
+    """Best-effort inference of which names/attributes hold sets.
+
+    Tracks straightforward evidence only: set literals/comprehensions,
+    ``set(...)``/``frozenset(...)`` calls, and ``set``/``frozenset``/
+    ``Set``/``FrozenSet``/``AbstractSet`` annotations -- on plain names
+    and on ``self.x`` attributes.  No flow analysis: once a name has
+    been seen holding a set anywhere in the file it is treated as one.
+    """
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+        self.set_attrs: set[str] = set()
+
+    # -- classification ------------------------------------------------
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.Name) and node.id in self.set_names:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in self.set_attrs:
+            return True
+        return False
+
+    @staticmethod
+    def _annotation_is_set(node: ast.expr) -> bool:
+        # set[int], frozenset[int], Set[int], typing.AbstractSet[int], "set[int]"
+        target = node
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute):
+            name = target.attr
+        elif isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Constant) and isinstance(target.value, str):
+            name = target.value.split("[", 1)[0].strip()
+        else:
+            return False
+        return name in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet")
+
+    # -- evidence collection -------------------------------------------
+    def note_assign(self, target: ast.expr, value: Optional[ast.expr]) -> None:
+        if value is None or not self.is_set_expr(value):
+            return
+        if isinstance(target, ast.Name):
+            self.set_names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            self.set_attrs.add(target.attr)
+
+    def note_annotation(self, target: ast.expr, annotation: ast.expr) -> None:
+        if not self._annotation_is_set(annotation):
+            return
+        if isinstance(target, ast.Name):
+            self.set_names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            self.set_attrs.add(target.attr)
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: Path):
+        self.path = path
+        self.decision = _is_decision_module(path)
+        self.findings: list[Finding] = []
+        self.sets = _SetTracker()
+        self._time_alias: set[str] = set()  # names bound to the time module
+        self._dt_alias: set[str] = set()  # names bound to datetime/date classes
+        self._random_alias: set[str] = set()  # names bound to the random module
+
+    # -- helpers -------------------------------------------------------
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=str(self.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- evidence pre-pass ---------------------------------------------
+    def collect_evidence(self, tree: ast.AST) -> None:
+        """One pass collecting set-typed names before judging iteration."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    self.sets.note_assign(t, node.value)
+            elif isinstance(node, ast.AnnAssign):
+                self.sets.note_annotation(node.target, node.annotation)
+                self.sets.note_assign(node.target, node.value)
+            elif isinstance(node, ast.arg) and node.annotation is not None:
+                self.sets.note_annotation(ast.Name(id=node.arg), node.annotation)
+
+    # -- imports (SIM002 / SIM003 aliases) ------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".", 1)[0]
+            bound = alias.asname or root
+            if root == "random":
+                self._random_alias.add(bound)
+                self._emit(
+                    node,
+                    "SIM002",
+                    "import of the global `random` module; draw from "
+                    "repro.sim.rng.SimRng streams instead",
+                )
+            elif root == "time":
+                self._time_alias.add(bound)
+            elif root == "datetime":
+                self._dt_alias.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = (node.module or "").split(".", 1)[0]
+        if mod == "random":
+            self._emit(
+                node,
+                "SIM002",
+                "import from the global `random` module; draw from "
+                "repro.sim.rng.SimRng streams instead",
+            )
+        elif mod == "numpy" and any(a.name == "random" for a in node.names):
+            self._emit(
+                node,
+                "SIM002",
+                "numpy.random is unseeded global state; use repro.sim.rng",
+            )
+        elif mod == "time":
+            for alias in node.names:
+                if alias.name in _TIME_FUNCS:
+                    self._emit(
+                        node,
+                        "SIM003",
+                        f"wall-clock import time.{alias.name}; simulation code "
+                        "must use engine.now",
+                    )
+        elif mod == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self._dt_alias.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- calls (SIM002 / SIM003 / SIM004) -------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            owner, attr = func.value.id, func.attr
+            if owner in self._random_alias or owner == "random":
+                self._emit(node, "SIM002", f"call to global random.{attr}()")
+            elif owner in self._time_alias and attr in _TIME_FUNCS:
+                self._emit(
+                    node, "SIM003", f"wall-clock call {owner}.{attr}(); use engine.now"
+                )
+            elif owner in self._dt_alias and attr in _DATETIME_FUNCS:
+                self._emit(
+                    node, "SIM003", f"wall-clock call {owner}.{attr}(); use engine.now"
+                )
+            elif attr == "random" and owner in ("np", "numpy"):
+                self._emit(node, "SIM002", "numpy.random call; use repro.sim.rng")
+        # float(<timestamp>)
+        if isinstance(func, ast.Name) and func.id == "float" and node.args:
+            if _mentions_timestamp(node.args[0]):
+                self._emit(
+                    node,
+                    "SIM004",
+                    "float() applied to an engine timestamp; engine time is "
+                    "integer microseconds",
+                )
+        # schedule/schedule_at with float-ish delay
+        if isinstance(func, ast.Attribute) and func.attr in ("schedule", "schedule_at"):
+            delay = self._schedule_time_arg(node)
+            if delay is not None and _floatish(delay):
+                self._emit(
+                    node,
+                    "SIM004",
+                    f"float-valued time passed to {func.attr}(); engine time is "
+                    "integer microseconds (wrap in int()/math.ceil())",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _schedule_time_arg(node: ast.Call) -> Optional[ast.expr]:
+        for kw in node.keywords:
+            if kw.arg in ("delay", "time"):
+                return kw.value
+        return node.args[0] if node.args else None
+
+    # -- division on timestamps (SIM004) --------------------------------
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Div):
+            for side in (node.left, node.right):
+                if _is_timestamp_expr(side):
+                    self._emit(
+                        node,
+                        "SIM004",
+                        "true division on an engine timestamp produces a float; "
+                        "use // for integer time",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- iteration (SIM001) ---------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension_iters(self, node) -> None:
+        for gen in node.generators:
+            self._check_iteration(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = visit_comprehension_iters
+    visit_SetComp = visit_comprehension_iters
+    visit_DictComp = visit_comprehension_iters
+    visit_GeneratorExp = visit_comprehension_iters
+
+    def _check_iteration(self, it: ast.expr) -> None:
+        if not self.decision:
+            return
+        if self._is_unordered_iterable(it):
+            self._emit(
+                it,
+                "SIM001",
+                "iteration over an unordered set/dict view in a scheduling-"
+                "decision module; wrap in sorted(...) for a reproducible order",
+            )
+
+    def _is_unordered_iterable(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name == "keys" and isinstance(node.func, ast.Attribute):
+                return True
+            if name in _ORDER_PRESERVING_CALLS and node.args:
+                return self._is_unordered_iterable(node.args[0])
+            if name in ("set", "frozenset"):
+                return True
+            return False
+        return self.sets.is_set_expr(node)
+
+    # -- mutable defaults (SIM005) --------------------------------------
+    def _check_defaults(self, args: ast.arguments) -> None:
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "bytearray")
+            ):
+                self._emit(
+                    default,
+                    "SIM005",
+                    "mutable default argument; use None and create inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+
+def _is_timestamp_expr(node: ast.expr) -> bool:
+    """Does this expression *denote* an engine timestamp?
+
+    Conservative: ``<anything>.now`` attribute reads (``engine.now``,
+    ``self.engine.now``) and the bare conventional name ``now``.
+    """
+    if isinstance(node, ast.Attribute) and node.attr == "now":
+        return True
+    if isinstance(node, ast.Name) and node.id == "now":
+        return True
+    return False
+
+
+def _mentions_timestamp(node: ast.expr) -> bool:
+    return any(_is_timestamp_expr(n) for n in ast.walk(node))
+
+
+def _floatish(node: ast.expr) -> bool:
+    """Could this expression be a float?  (For schedule() delays.)
+
+    Flags float literals and true division anywhere inside, unless an
+    enclosing int-coercion call (``int``, ``round``, ``math.ceil``...)
+    launders the result back to an integer.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name in _INT_COERCIONS:
+            return False
+        return any(_floatish(a) for a in node.args) or any(
+            _floatish(kw.value) for kw in node.keywords
+        )
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _floatish(node.left) or _floatish(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _floatish(node.operand)
+    if isinstance(node, (ast.IfExp,)):
+        return _floatish(node.body) or _floatish(node.orelse)
+    return False
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def lint_source(source: str, path: str | Path) -> list[Finding]:
+    """Lint one module's source text.  Suppression comments applied."""
+    p = Path(path)
+    if "sim-lint: skip-file" in source:
+        return []
+    try:
+        tree = ast.parse(source, filename=str(p))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(p),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="SIM000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    visitor = _Visitor(p)
+    visitor.collect_evidence(tree)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    out = [f for f in visitor.findings if not _is_suppressed(f, lines)]
+    out.sort(key=lambda f: (f.line, f.col, f.rule))
+    return out
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    allowlist: Optional[Sequence[tuple[str, str]]] = None,
+) -> list[Finding]:
+    """Lint files and directory trees; returns surviving findings."""
+    if allowlist is None:
+        allowlist = (
+            load_allowlist(DEFAULT_ALLOWLIST) if DEFAULT_ALLOWLIST.exists() else []
+        )
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings: list[Finding] = []
+    for f in files:
+        for finding in lint_source(f.read_text(), f):
+            if not _allowlisted(finding, allowlist):
+                findings.append(finding)
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI body for ``python -m repro.analysis lint``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis lint",
+        description="Determinism linter for the scheduling simulator (SIM001..SIM005)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"], help="files or directories")
+    parser.add_argument(
+        "--allowlist",
+        type=Path,
+        default=None,
+        help=f"per-rule allowlist file (default: {DEFAULT_ALLOWLIST})",
+    )
+    parser.add_argument(
+        "--no-allowlist", action="store_true", help="ignore every allowlist entry"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to report (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.no_allowlist:
+        allowlist: Optional[list[tuple[str, str]]] = []
+    elif args.allowlist is not None:
+        allowlist = load_allowlist(args.allowlist)
+    else:
+        allowlist = None  # shipped default
+    findings = lint_paths(args.paths, allowlist=allowlist)
+    if args.select:
+        wanted = {r.strip() for r in args.select.split(",")}
+        findings = [f for f in findings if f.rule in wanted]
+    for f in findings:
+        print(f.format())
+    n = len(findings)
+    if n:
+        print(f"sim-lint: {n} finding{'s' if n != 1 else ''}")
+        return 1
+    return 0

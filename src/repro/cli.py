@@ -23,13 +23,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.apps.barriers import WaitPolicy
 from repro.apps.workloads import FULL_CATALOG, make_nas_app
 from repro.core import analytical
 from repro.harness import report
-from repro.harness.experiment import BALANCER_MODES, repeat_run
+from repro.harness.experiment import BALANCER_MODES, repeat_run, run_app
 from repro.sched.task import WaitMode
 from repro.topology import presets
 
@@ -129,6 +130,81 @@ def _cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Correctness tooling: static determinism lint + runtime invariants.
+
+    ``repro check`` runs both layers; ``--lint`` / ``--invariants``
+    restrict it to one.  The invariant pass runs a smoke matrix of
+    balancer modes on a UMA and a NUMA machine with an
+    :class:`~repro.analysis.invariants.InvariantChecker` installed at
+    full scan resolution, so every mechanism invariant (INV001..INV004)
+    and the speed balancer's policy invariants (INV005/INV006) are
+    exercised end to end.
+    """
+    from repro.analysis.invariants import (
+        InvariantConfig,
+        InvariantViolation,
+        install_invariant_checker,
+    )
+    from repro.analysis.lint import lint_paths
+
+    do_lint = args.lint or not args.invariants
+    do_invariants = args.invariants or not args.lint
+    status = 0
+
+    if do_lint:
+        paths = args.paths or [str(Path(__file__).resolve().parent)]
+        findings = lint_paths(paths)
+        for f in findings:
+            print(f.format())
+        n = len(findings)
+        print(f"lint: {'ok' if not n else f'{n} finding(s)'} ({', '.join(paths)})")
+        if n:
+            status = 1
+
+    if do_invariants:
+        total_us = int(args.seconds * 1_000_000)
+        wait = WaitPolicy(mode=WAITS[args.wait])
+        machines = [("uniform4", lambda: presets.uniform(4)), ("barcelona", presets.barcelona)]
+        checkers = []
+
+        def instrument(system) -> None:
+            checkers.append(
+                install_invariant_checker(system, InvariantConfig(scan_stride=1))
+            )
+
+        for mname, machine in machines:
+            for mode in ("speed", "load", "dwrr", "ule"):
+                for seed in range(args.repeats):
+                    try:
+                        run_app(
+                            machine,
+                            lambda system: make_nas_app(
+                                system,
+                                args.bench,
+                                n_threads=6,
+                                wait_policy=wait,
+                                total_compute_us=total_us,
+                            ),
+                            balancer=mode,
+                            cores=4,
+                            seed=seed,
+                            instrument=instrument,
+                        )
+                    except InvariantViolation as exc:
+                        print(f"FAIL {mname}/{mode}/seed{seed}: {exc}")
+                        return 1
+                    chk = checkers[-1]
+                    print(
+                        f"ok   {mname}/{mode}/seed{seed}: "
+                        f"{chk.stats['events']} events, "
+                        f"{chk.stats['charges']} charges, "
+                        f"{chk.stats['migrations']} migrations checked"
+                    )
+        print("invariants: ok (INV001..INV006 held on the whole smoke matrix)")
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -157,6 +233,30 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("--threads", type=int, required=True)
     model.add_argument("--cores", type=int, required=True)
 
+    check = sub.add_parser(
+        "check",
+        help="correctness tooling: determinism lint + runtime invariant smoke",
+    )
+    check.add_argument(
+        "--invariants", action="store_true",
+        help="run only the runtime invariant smoke matrix",
+    )
+    check.add_argument(
+        "--lint", action="store_true",
+        help="run only the static determinism lint",
+    )
+    check.add_argument(
+        "--paths", nargs="+", default=None,
+        help="lint these paths (default: the installed repro package)",
+    )
+    check.add_argument("--bench", default="ep.C", choices=sorted(FULL_CATALOG))
+    check.add_argument("--wait", default="yield", choices=sorted(WAITS))
+    check.add_argument(
+        "--seconds", type=float, default=0.3,
+        help="per-thread compute demand of each smoke run (simulated seconds)",
+    )
+    check.add_argument("--repeats", type=int, default=2)
+
     return parser
 
 
@@ -167,6 +267,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "benches": _cmd_benches,
         "run": _cmd_run,
         "model": _cmd_model,
+        "check": _cmd_check,
     }[args.command]
     try:
         return handler(args)

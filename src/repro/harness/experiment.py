@@ -73,6 +73,7 @@ def run_app(
     limit_us: int = 3_600_000_000,
     return_system: bool = False,
     scheduler: str = "cfs",
+    instrument: Optional[Callable[[System], None]] = None,
 ):
     """Run one application to completion under one balancer mode.
 
@@ -94,6 +95,10 @@ def run_app(
     scheduler:
         Per-core policy: "cfs" (default) or "o1" (fixed 100 ms quanta;
         the 2.6.22 substrate DWRR was prototyped on).
+    instrument:
+        Called with the fully assembled :class:`System` just before the
+        run starts -- the hook ``repro check --invariants`` uses to
+        install a :class:`~repro.analysis.invariants.InvariantChecker`.
     """
     m = machine() if callable(machine) else machine
     system = System(
@@ -128,6 +133,8 @@ def run_app(
         sb = SpeedBalancer(app, cores=core_list, config=speed_config)
         system.add_user_balancer(sb)
 
+    if instrument is not None:
+        instrument(system)
     app.spawn(at=0, cores=core_list)
     system.run_until_done([app], limit_us=limit_us)
 

@@ -93,6 +93,12 @@ class Engine:
         self.max_events = max_events
         self._running = False
         self._stop_requested = False
+        #: dispatch observers, called with each live event just before
+        #: its callback runs (and before the clock advances).  This is
+        #: the instrumentation hook the runtime invariant checker
+        #: (:mod:`repro.analysis.invariants`) installs; observers must
+        #: not mutate engine state.
+        self.observers: list[Callable[[Event], Any]] = []
 
     # ------------------------------------------------------------------
     # scheduling
@@ -140,6 +146,9 @@ class Engine:
                 if until is not None and ev.time > until:
                     break
                 heapq.heappop(self._heap)
+                if self.observers:
+                    for obs in self.observers:
+                        obs(ev)
                 if ev.time < self.now:  # pragma: no cover - defensive
                     raise SimulationError("event queue time went backwards")
                 self.now = ev.time
@@ -170,8 +179,18 @@ class Engine:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
                 continue
+            if self.observers:
+                for obs in self.observers:
+                    obs(ev)
+            if ev.time < self.now:  # pragma: no cover - defensive
+                raise SimulationError("event queue time went backwards")
             self.now = ev.time
             self._dispatched += 1
+            if self._dispatched > self.max_events:
+                raise SimulationError(
+                    f"event limit exceeded ({self.max_events}); "
+                    f"likely livelock near t={self.now} (last: {ev.label!r})"
+                )
             ev.callback()
             return True
         return False

@@ -120,6 +120,16 @@ class System:
         self._exit_callbacks: dict[int, list[Callable[[Task], None]]] = {}
         self._watch: set[int] = set()
         self._watching = False
+        # -- instrumentation hooks (see repro.analysis.invariants) -----
+        #: observers called as fn(core, task, dt) after every execution-
+        #: time charge (in addition to the kernel balancer's on_charge)
+        self.charge_observers: list[Callable[[CoreSim, Task, int], None]] = []
+        #: observers called as fn(task, record) after every successful
+        #: migration, before the task is enqueued on its destination
+        self.migration_observers: list[Callable[[Task, MigrationRecord], None]] = []
+        #: the installed invariant checker, if any (opt-in; set by
+        #: repro.analysis.invariants.install_invariant_checker)
+        self.invariant_checker: Optional[object] = None
 
     # ------------------------------------------------------------------
     # assembly
@@ -292,18 +302,19 @@ class System:
         self, task: Task, src: Optional[int], dst: int, forced: bool, reason: str
     ) -> None:
         self.migration_counts[reason] = self.migration_counts.get(reason, 0) + 1
+        record = MigrationRecord(
+            time=self.engine.now,
+            tid=task.tid,
+            task_name=task.name,
+            src=src,
+            dst=dst,
+            forced=forced,
+            reason=reason,
+        )
         if len(self.migration_log) < self._migration_log_limit:
-            self.migration_log.append(
-                MigrationRecord(
-                    time=self.engine.now,
-                    tid=task.tid,
-                    task_name=task.name,
-                    src=src,
-                    dst=dst,
-                    forced=forced,
-                    reason=reason,
-                )
-            )
+            self.migration_log.append(record)
+        for observer in self.migration_observers:
+            observer(task, record)
 
     # ------------------------------------------------------------------
     # hooks
@@ -312,6 +323,8 @@ class System:
         """Charging hook: lets DWRR account round slices."""
         if self.kernel_balancer is not None:
             self.kernel_balancer.on_charge(core, task, dt)
+        for observer in self.charge_observers:
+            observer(core, task, dt)
 
     # ------------------------------------------------------------------
     # dynamic frequency (Turbo-Boost-style clock changes)

@@ -1,9 +1,20 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Every :class:`~repro.system.System` constructed anywhere in the suite
+gets a :class:`~repro.analysis.invariants.InvariantChecker` installed
+automatically (see ``_install_invariants_everywhere``), so the whole
+tier-1 suite doubles as an invariant stress test: any accounting drift,
+clock reversal or balancer-policy breach raises
+:class:`~repro.analysis.invariants.InvariantViolation` at the moment it
+happens.  Mark a test ``@pytest.mark.no_invariants`` to opt out (e.g.
+when deliberately constructing broken states).
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.analysis.invariants import InvariantConfig, install_invariant_checker
 from repro.apps.barriers import WaitPolicy
 from repro.apps.spmd import SpmdApp
 from repro.balance.base import NoBalancer
@@ -11,6 +22,34 @@ from repro.balance.linux import LinuxLoadBalancer
 from repro.sched.task import WaitMode
 from repro.system import System
 from repro.topology import presets
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_invariants: do not auto-install the runtime invariant checker",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _install_invariants_everywhere(request, monkeypatch):
+    """Install the runtime invariant checker on every System built.
+
+    Cheap O(1) checks (clock monotonicity, t_exec <= t_real, busy-time
+    conservation) run at every event/charge; full running-state scans
+    (INV004) run every ``scan_stride`` events and at every migration.
+    """
+    if request.node.get_closest_marker("no_invariants"):
+        yield
+        return
+    orig_init = System.__init__
+
+    def init_with_checker(self, *args, **kwargs):
+        orig_init(self, *args, **kwargs)
+        install_invariant_checker(self, InvariantConfig(scan_stride=32))
+
+    monkeypatch.setattr(System, "__init__", init_with_checker)
+    yield
 
 
 @pytest.fixture

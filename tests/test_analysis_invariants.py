@@ -1,0 +1,350 @@
+"""Unit tests for the runtime invariant checker (:mod:`repro.analysis.invariants`).
+
+Each invariant INV001..INV006 is exercised by deliberately corrupting a
+live simulation (forged past events, tampered accounting, broken
+balancer state) and asserting the checker raises
+:class:`InvariantViolation` with the right rule id.  The violation
+tests install their own checkers and opt out of the suite-wide autouse
+fixture (``no_invariants``) so the corruption does not trip a second,
+fixture-installed checker first.
+"""
+
+import heapq
+
+import pytest
+
+from repro.analysis.invariants import (
+    INVARIANTS,
+    InvariantChecker,
+    InvariantConfig,
+    InvariantViolation,
+    install_invariant_checker,
+)
+from repro.apps.barriers import WaitPolicy
+from repro.apps.spmd import SpmdApp
+from repro.apps.workloads import make_nas_app
+from repro.balance.base import NoBalancer
+from repro.balance.linux import LinuxLoadBalancer
+from repro.core.speed_balancer import SpeedBalancer, SpeedBalancerConfig
+from repro.harness.experiment import run_app
+from repro.sched.task import TaskState, WaitMode
+from repro.sim.engine import Event
+from repro.system import System
+from repro.topology import presets
+
+
+def build_plain(n_cores=2, n_threads=2, work_us=300_000, stride=1):
+    """A bare system + app with a checker installed, not yet spawned."""
+    system = System(presets.uniform(n_cores), seed=0)
+    system.set_balancer(NoBalancer())
+    checker = install_invariant_checker(system, InvariantConfig(scan_stride=stride))
+    app = SpmdApp(
+        system,
+        "app",
+        n_threads,
+        work_us=work_us,
+        iterations=1,
+        wait_policy=WaitPolicy(mode=WaitMode.YIELD),
+        barrier_every_iteration=False,
+    )
+    return system, app, checker
+
+
+def build_speed(machine=None, cores=None, n_threads=4, config=None, stride=1):
+    """System + SPMD app managed by a speed balancer, checker installed."""
+    system = System(machine or presets.uniform(4), seed=0)
+    system.set_balancer(LinuxLoadBalancer())
+    app = SpmdApp(
+        system,
+        "app",
+        n_threads,
+        work_us=2_000_000,
+        iterations=1,
+        wait_policy=WaitPolicy(mode=WaitMode.YIELD),
+        barrier_every_iteration=False,
+    )
+    sb = SpeedBalancer(app, cores=cores, config=config)
+    system.add_user_balancer(sb)
+    checker = install_invariant_checker(system, InvariantConfig(scan_stride=stride))
+    app.spawn(cores=cores)
+    return system, app, sb, checker
+
+
+@pytest.mark.no_invariants
+class TestInstallation:
+    def test_install_is_idempotent(self):
+        system = System(presets.uniform(2), seed=0)
+        checker = InvariantChecker(system)
+        checker.install()
+        checker.install()
+        assert len(system.engine.observers) == 1
+        assert system.invariant_checker is checker
+
+    def test_uninstall_removes_hooks(self):
+        system = System(presets.uniform(2), seed=0)
+        checker = install_invariant_checker(system)
+        checker.uninstall()
+        checker.uninstall()  # idempotent
+        assert system.engine.observers == []
+        assert system.charge_observers == []
+        assert system.migration_observers == []
+        assert system.invariant_checker is None
+
+    def test_catalogue_complete(self):
+        assert sorted(INVARIANTS) == [f"INV00{i}" for i in range(1, 7)]
+
+
+@pytest.mark.no_invariants
+class TestInv001ClockMonotonic:
+    def test_forged_past_event_raises(self):
+        system, app, checker = build_plain()
+        eng = system.engine
+        eng.schedule(100, lambda: None, label="warmup")
+        eng.run()
+        assert eng.now == 100
+        # forge an event behind the clock, bypassing schedule()'s guard
+        heapq.heappush(eng._heap, Event(50, 10**9, lambda: None, "forged-past"))
+        with pytest.raises(InvariantViolation) as ei:
+            eng.run()
+        assert ei.value.rule == "INV001"
+        assert ei.value.trace and "forged-past" in ei.value.trace[-1]
+        assert "recent events" in str(ei.value)
+
+    def test_normal_run_is_clean(self):
+        system, app, checker = build_plain()
+        app.spawn(at=0)
+        system.run_until_done([app])
+        assert checker.stats["events"] > 0
+        assert checker.stats["charges"] > 0
+
+
+@pytest.mark.no_invariants
+class TestInv002ExecVsReal:
+    def test_inflated_exec_time_raises(self):
+        system, app, checker = build_plain(n_cores=1, n_threads=2)
+        app.spawn(at=0)
+        system.run(until=20_000)
+        task = app.tasks[0]
+        assert task.started_at is not None
+        task.exec_us += 10**9  # corrupt the taskstats accounting
+        with pytest.raises(InvariantViolation) as ei:
+            system.run_until_done([app])
+        assert ei.value.rule == "INV002"
+        assert task.name in str(ei.value)
+
+
+@pytest.mark.no_invariants
+class TestInv003BusyConservation:
+    def test_tampered_core_busy_time_raises(self):
+        system, app, checker = build_plain(n_cores=1, n_threads=2)
+        app.spawn(at=0)
+        system.run(until=20_000)
+        system.cores[0].stats.busy_us += 777  # drift the core counter
+        with pytest.raises(InvariantViolation) as ei:
+            system.run_until_done([app])
+        assert ei.value.rule == "INV003"
+        assert "drift" in str(ei.value)
+
+    def test_negative_charge_raises(self):
+        system, app, checker = build_plain()
+        app.spawn(at=0)
+        system.run(until=10_000)
+        core = system.cores[0]
+        with pytest.raises(InvariantViolation) as ei:
+            system.on_task_charged(core, app.tasks[0], -5)
+        assert ei.value.rule == "INV003"
+        assert "negative" in str(ei.value)
+
+    def test_baseline_allows_mid_run_install(self):
+        # a checker installed on a system that has already run must not
+        # misread pre-existing busy time as unexplained drift
+        system = System(presets.uniform(1), seed=0)
+        system.set_balancer(NoBalancer())
+        app = SpmdApp(
+            system, "app", 2, work_us=100_000, iterations=1,
+            wait_policy=WaitPolicy(mode=WaitMode.YIELD),
+            barrier_every_iteration=False,
+        )
+        app.spawn(at=0)
+        system.run(until=50_000)
+        assert system.cores[0].stats.busy_us > 0
+        checker = install_invariant_checker(system, InvariantConfig(scan_stride=1))
+        system.run_until_done([app])
+        assert checker.stats["charges"] > 0
+
+
+@pytest.mark.no_invariants
+class TestInv004RunningState:
+    def _running_pair(self):
+        system, app, checker = build_plain(n_cores=2, n_threads=2)
+        app.spawn(at=0)
+        system.run(until=10_000)
+        running = [t for t in app.tasks if t.state == TaskState.RUNNING]
+        assert len(running) == 2
+        return system, checker, running
+
+    def _expect_scan_failure(self, system):
+        system.engine.schedule(1, lambda: None, label="tick")
+        with pytest.raises(InvariantViolation) as ei:
+            system.run(until=20_000)
+        return ei.value
+
+    def test_two_running_tasks_on_one_core(self):
+        system, checker, (t0, t1) = self._running_pair()
+        t1.cur_core = t0.cur_core
+        exc = self._expect_scan_failure(system)
+        assert exc.rule == "INV004"
+        assert "two running tasks" in str(exc)
+
+    def test_running_task_without_core(self):
+        system, checker, (t0, t1) = self._running_pair()
+        t1.cur_core = None
+        exc = self._expect_scan_failure(system)
+        assert exc.rule == "INV004"
+        assert "not placed" in str(exc)
+
+    def test_core_claims_non_running_task(self):
+        system, checker, (t0, t1) = self._running_pair()
+        t1.state = TaskState.RUNNABLE  # core still believes it runs t1
+        exc = self._expect_scan_failure(system)
+        assert exc.rule == "INV004"
+        assert "believes" in str(exc)
+
+    def test_running_task_core_not_executing_it(self):
+        system, checker, (t0, t1) = self._running_pair()
+        system.cores[t1.cur_core].current = None
+        exc = self._expect_scan_failure(system)
+        assert exc.rule == "INV004"
+        assert "not executing" in str(exc)
+
+
+@pytest.mark.no_invariants
+class TestInv005MigrationBlock:
+    def _pull_setup(self, machine=None, cores=None, config=None):
+        system, app, sb, checker = build_speed(
+            machine=machine, cores=cores, config=config
+        )
+        system.run(until=400_000)  # past startup; threads placed and pinned
+        task = next(
+            t for t in app.tasks
+            if t.state in (TaskState.RUNNING, TaskState.RUNNABLE)
+        )
+        src = task.cur_core
+        dst = next(c for c in sb.requested_cores if c != src)
+        return system, sb, checker, task, src, dst
+
+    def test_pull_inside_block_window_raises(self):
+        system, sb, checker, task, src, dst = self._pull_setup(cores=[0, 1, 2, 3])
+        sb.last_migration_at[src] = system.engine.now  # fake fresh involvement
+        before = checker.stats["migrations"]
+        with pytest.raises(InvariantViolation) as ei:
+            system.migrate(task, dst, forced=True, pin=True, reason="speed.pull")
+        assert ei.value.rule == "INV005"
+        assert checker.stats["migrations"] == before + 1
+
+    def test_pull_outside_block_window_passes(self):
+        system, sb, checker, task, src, dst = self._pull_setup(cores=[0, 1, 2, 3])
+        # default last_migration_at is the distant past: a pull is legal
+        assert system.migrate(task, dst, forced=True, pin=True, reason="speed.pull")
+        assert checker.stats["migrations"] >= 1
+
+    def test_unattributed_pull_is_not_judged(self):
+        # a migration of a task no speed balancer manages cannot violate
+        # the balancer policy, even with the reason string spoofed
+        system, app, checker = build_plain()
+        app.spawn(at=0)
+        system.run(until=10_000)
+        task = next(t for t in app.tasks if t.state == TaskState.RUNNING)
+        dst = 1 - task.cur_core
+        assert system.migrate(task, dst, forced=True, reason="speed.pull")
+
+
+@pytest.mark.no_invariants
+class TestInv006DomainFence:
+    def _numa_pair(self, sb, machine):
+        src_candidates = sorted(sb.requested_cores)
+        a = src_candidates[0]
+        b = next(
+            c for c in src_candidates
+            if machine.numa_node_of(c) != machine.numa_node_of(a)
+        )
+        return a, b
+
+    def test_cross_numa_pull_raises_when_fenced(self):
+        machine = presets.barcelona()
+        system, app, sb, checker = build_speed(
+            machine=machine, cores=[0, 1, 4, 5]
+        )
+        system.run(until=400_000)
+        a, b = self._numa_pair(sb, machine)
+        task = next(
+            t for t in app.tasks
+            if t.cur_core is not None
+            and machine.numa_node_of(t.cur_core) == machine.numa_node_of(a)
+            and t.state in (TaskState.RUNNING, TaskState.RUNNABLE)
+        )
+        dst = b if machine.numa_node_of(b) != machine.numa_node_of(task.cur_core) else a
+        with pytest.raises(InvariantViolation) as ei:
+            system.migrate(task, dst, forced=True, pin=True, reason="speed.pull")
+        assert ei.value.rule == "INV006"
+        assert "NUMA" in str(ei.value)
+
+    def test_cross_numa_pull_allowed_when_enabled(self):
+        machine = presets.barcelona()
+        system, app, sb, checker = build_speed(
+            machine=machine,
+            cores=[0, 1, 4, 5],
+            config=SpeedBalancerConfig(level_enabled={}),  # nothing fenced
+        )
+        system.run(until=400_000)
+        a, b = self._numa_pair(sb, machine)
+        task = next(
+            t for t in app.tasks
+            if t.cur_core is not None
+            and machine.numa_node_of(t.cur_core) == machine.numa_node_of(a)
+            and t.state in (TaskState.RUNNING, TaskState.RUNNABLE)
+        )
+        dst = b if machine.numa_node_of(b) != machine.numa_node_of(task.cur_core) else a
+        assert system.migrate(task, dst, forced=True, pin=True, reason="speed.pull")
+
+
+@pytest.mark.no_invariants
+class TestEndToEnd:
+    def test_speed_run_clean_at_full_scan_resolution(self):
+        checkers = []
+
+        def instrument(system):
+            checkers.append(
+                install_invariant_checker(system, InvariantConfig(scan_stride=1))
+            )
+
+        result = run_app(
+            presets.tigerton,
+            lambda system: make_nas_app(
+                system, "ep.C", n_threads=6, total_compute_us=200_000
+            ),
+            balancer="speed",
+            cores=4,
+            instrument=instrument,
+        )
+        assert result.elapsed_us > 0
+        (checker,) = checkers
+        assert checker.stats["events"] > 0
+        assert checker.stats["scans"] > 0
+
+    def test_check_cli_smoke(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main([
+            "check", "--invariants", "--seconds", "0.05", "--repeats", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invariants: ok" in out
+
+
+class TestSuiteWideFixture:
+    def test_autouse_fixture_installs_checker(self):
+        # no no_invariants marker here: the conftest fixture is active
+        system = System(presets.uniform(2), seed=0)
+        assert system.invariant_checker is not None
+        assert system.invariant_checker.config.scan_stride == 32

@@ -7,7 +7,7 @@ depend on (Section 2/3 of the paper lean on them repeatedly).
 import pytest
 
 from repro.balance.pinned import PinnedBalancer
-from repro.sched.task import Action, Program, Task, TaskState
+from repro.sched.task import Action, Program, Task
 from repro.system import System
 from repro.topology import presets
 
@@ -27,7 +27,6 @@ class TestVruntimeOrdering:
         b = pinned_task(OneShot(10_000), 0, name="b")
         system.spawn_burst([a, b])
         system.run(until=100)
-        first = system.cores[0].current
         # give the waiter a big vruntime debt and force a resched
         system.run(until=system.cfs_params.target_latency + 1_000)
         # after one slice the other task must have run

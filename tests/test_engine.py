@@ -1,8 +1,10 @@
 """Unit tests for the discrete-event engine."""
 
+import heapq
+
 import pytest
 
-from repro.sim.engine import Engine, SimulationError
+from repro.sim.engine import Engine, Event, SimulationError
 
 
 class TestScheduling:
@@ -174,6 +176,35 @@ class TestRunControl:
         eng.schedule(1, loop)
         with pytest.raises(SimulationError, match="event limit"):
             eng.run()
+
+    def test_max_events_guards_step_too(self):
+        eng = Engine(max_events=3)
+        for i in range(5):
+            eng.schedule(i + 1, lambda: None)
+        for _ in range(3):
+            assert eng.step()
+        with pytest.raises(SimulationError, match="event limit"):
+            eng.step()
+
+    def test_step_rejects_backwards_time(self):
+        # an event forged behind the clock (bypassing schedule's guard)
+        # must not silently rewind time in step() any more than in run()
+        eng = Engine()
+        eng.schedule(100, lambda: None)
+        eng.run()
+        heapq.heappush(eng._heap, Event(50, 10**9, lambda: None, "forged"))
+        with pytest.raises(SimulationError, match="backwards"):
+            eng.step()
+        assert eng.now == 100
+
+    def test_observers_see_each_dispatch(self):
+        eng = Engine()
+        seen = []
+        eng.observers.append(lambda ev: seen.append((ev.time, ev.label)))
+        eng.schedule(10, lambda: None, label="a")
+        eng.schedule(20, lambda: None, label="b")
+        eng.run()
+        assert seen == [(10, "a"), (20, "b")]
 
     def test_dispatched_counter(self):
         eng = Engine()

@@ -152,7 +152,6 @@ class TestConstraints:
         system.spawn_burst([a, b])
         system.run(until=100)
         running = system.cores[0].current
-        other = a if running is b else b
         a.allowed_cores = b.allowed_cores = frozenset({0, 1})
         system.run(until=12_000)
         # only the queued one can have moved in the first balance round

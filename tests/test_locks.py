@@ -5,7 +5,7 @@ import pytest
 from repro.apps.barriers import WaitPolicy
 from repro.apps.locks import LockedCounterApp, Mutex
 from repro.balance.pinned import PinnedBalancer
-from repro.sched.task import Task, TaskState, WaitMode
+from repro.sched.task import Task, WaitMode
 from repro.system import System
 from repro.topology import presets
 

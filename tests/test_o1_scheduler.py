@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.apps.barriers import WaitPolicy
 from repro.apps.workloads import ep_app
 from repro.balance.pinned import PinnedBalancer
 from repro.harness.experiment import run_app
 from repro.sched.cfs import O1Params
 from repro.sched.runqueue import O1RunQueue
-from repro.sched.task import Task, WaitMode
+from repro.sched.task import Task
 from repro.system import System
 from repro.topology import presets
 

@@ -20,9 +20,8 @@ from hypothesis import strategies as st
 
 from repro.apps.barriers import WaitPolicy
 from repro.apps.spmd import SpmdApp
-from repro.harness.experiment import make_kernel_balancer, run_app
+from repro.harness.experiment import run_app
 from repro.sched.task import TaskState, WaitMode
-from repro.system import System
 from repro.topology import presets
 
 MODES = ["speed", "load", "pinned", "dwrr", "ule", "none"]

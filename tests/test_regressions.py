@@ -8,9 +8,7 @@ import pytest
 
 from repro.apps.barriers import Barrier, WaitPolicy
 from repro.apps.workloads import ep_app
-from repro.balance.linux import LinuxLoadBalancer
 from repro.balance.pinned import PinnedBalancer
-from repro.core.speed_balancer import SpeedBalancer, SpeedBalancerConfig
 from repro.sched.task import Action, Program, Task, TaskState, WaitMode
 from repro.system import System
 from repro.topology import presets

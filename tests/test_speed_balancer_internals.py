@@ -11,7 +11,7 @@ from repro.apps.barriers import WaitPolicy
 from repro.apps.spmd import SpmdApp
 from repro.balance.linux import LinuxLoadBalancer
 from repro.core.speed_balancer import SpeedBalancer, SpeedBalancerConfig
-from repro.sched.task import TaskState, WaitMode
+from repro.sched.task import WaitMode
 from repro.system import System
 from repro.topology import presets
 from repro.topology.machine import DomainLevel

@@ -5,7 +5,7 @@ import pytest
 from repro.apps.barriers import WaitPolicy
 from repro.apps.spmd import SpmdApp
 from repro.balance.pinned import PinnedBalancer
-from repro.sched.task import TaskState, WaitMode
+from repro.sched.task import WaitMode
 from repro.system import System
 from repro.topology import presets
 

@@ -15,7 +15,7 @@ from repro.apps.workloads import ep_app
 from repro.balance.linux import LinuxLoadBalancer
 from repro.core.speed_balancer import SpeedBalancer
 from repro.harness.experiment import run_app
-from repro.sched.task import TaskState, WaitMode
+from repro.sched.task import WaitMode
 from repro.system import System
 from repro.topology import presets
 

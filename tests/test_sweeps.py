@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps.workloads import FULL_CATALOG, NAS_EXTENDED_CATALOG, make_nas_app
-from repro.harness.sweeps import SweepResult, sweep
+from repro.harness.sweeps import sweep
 
 
 class TestSweep:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.balance.base import NoBalancer
 from repro.mem.cache_model import CacheModel
-from repro.sched.task import Action, Program, Task, TaskState
+from repro.sched.task import Task, TaskState
 from repro.system import System
 from repro.topology import presets
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.topology import presets
-from repro.topology.machine import Cache, Core, DomainLevel, Machine
+from repro.topology.machine import Core, DomainLevel, Machine
 
 
 class TestTigerton:

@@ -73,7 +73,7 @@ class TestIdleSteal:
         system = ule_system()
         short = pinned_task(OneShot(5_000), 1, name="short")
         system.spawn_burst([short])
-        ts = spawn_imbalanced(system, 2)
+        spawn_imbalanced(system, 2)
         system.run(until=50_000)
         # when short ended, core 1 stole one of the two
         assert sorted(system.queue_lengths()) == [1, 1]
