@@ -2,15 +2,22 @@
 
 Every other file in ``benchmarks/`` regenerates a table or figure of
 the paper; this one tracks the *cost* of doing so: wall-clock per
-simulated second for representative scenario shapes, and the event
-throughput of the bare engine.  Useful for catching performance
-regressions in the dispatch path (these run multiple rounds, unlike
-the single-shot reproduction benches).
+simulated second for representative scenario shapes, the event
+throughput of the bare engine, and the scaling of the process-pool
+experiment fan-out.  Useful for catching performance regressions in
+the dispatch path (these run multiple rounds, unlike the single-shot
+reproduction benches).  ``repro bench`` tracks the same quantities as
+a committed machine-readable trajectory (see docs/performance.md).
 """
 
+import os
+import time
+
+import pytest
+
 from repro.apps.barriers import WaitPolicy
-from repro.apps.workloads import ep_app, make_nas_app
-from repro.harness.experiment import run_app
+from repro.apps.workloads import AppSpec, ep_app, make_nas_app
+from repro.harness.experiment import repeat_run, run_app
 from repro.sched.task import WaitMode
 from repro.sim.engine import Engine
 from repro.topology import presets
@@ -63,3 +70,30 @@ def test_perf_fine_grained_barriers(benchmark):
         ).elapsed_us
 
     assert benchmark(run) > 0
+
+
+def test_perf_parallel_repeat_run_speedup():
+    """The harness fan-out: 8 seeds over 4 workers vs serial.
+
+    The acceptance bar is >= 2x on a 4-core runner; worker processes
+    cannot beat serial on fewer cores, so the measurement is gated on
+    the hardware (a plain wall-clock A/B, not a pytest-benchmark case).
+    """
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("parallel speedup needs >= 4 physical cores")
+    spec = AppSpec(bench="cg.B", n_threads=16, wait="yield",
+                   total_compute_us=500_000)
+
+    t0 = time.perf_counter()
+    serial = repeat_run(presets.tigerton, spec, balancer="speed", cores=12,
+                        seeds=range(8), workers=1)
+    t1 = time.perf_counter()
+    parallel = repeat_run(presets.tigerton, spec, balancer="speed", cores=12,
+                          seeds=range(8), workers=4)
+    t2 = time.perf_counter()
+
+    assert serial.times_us == parallel.times_us  # same simulations exactly
+    speedup = (t1 - t0) / (t2 - t1)
+    print(f"\nrepeat_run 8 seeds: serial {t1 - t0:.2f}s, "
+          f"workers=4 {t2 - t1:.2f}s ({speedup:.2f}x)")
+    assert speedup >= 2.0

@@ -44,8 +44,10 @@ Allowlist
 A plain-text file of ``RULE  path-glob`` pairs (fnmatch against the
 POSIX form of the file path) silences a rule for whole files.  The
 shipped default (``lint_allowlist.txt`` next to this module) contains
-exactly one entry: ``repro/sim/rng.py`` may import :mod:`random`, as it
-*is* the sanctioned wrapper.
+exactly two entries: ``repro/sim/rng.py`` may import :mod:`random`, as
+it *is* the sanctioned wrapper, and ``repro/harness/bench.py`` may
+read the wall clock, as it measures the simulator from outside rather
+than participating in simulated time.
 """
 
 from __future__ import annotations

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.apps.barriers import WaitPolicy
 from repro.apps.spmd import SpmdApp
+from repro.sched.task import WaitMode
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.system import System
@@ -49,10 +50,19 @@ __all__ = [
     "FULL_CATALOG",
     "NAS_CATALOG",
     "NAS_EXTENDED_CATALOG",
+    "WAIT_MODES",
+    "AppSpec",
     "NasBenchmark",
     "ep_app",
     "make_nas_app",
 ]
+
+#: barrier wait policies by CLI/spec name
+WAIT_MODES: dict[str, WaitMode] = {
+    "yield": WaitMode.YIELD,
+    "sleep": WaitMode.SLEEP,
+    "spin": WaitMode.SPIN,
+}
 
 GB = 1 << 30
 MB = 1 << 20
@@ -141,6 +151,55 @@ def make_nas_app(
         footprint_bytes=entry.footprint_bytes(),
         mem_intensity=entry.mem_intensity,
     )
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Declarative, picklable description of a catalog application.
+
+    An ``AppSpec`` is callable with a :class:`~repro.system.System`
+    (the ``app_factory`` protocol of
+    :func:`repro.harness.experiment.run_app`), so it can be used
+    anywhere a factory closure can -- with the advantage that, being a
+    frozen dataclass of plain values, it pickles and therefore crosses
+    process boundaries in :mod:`repro.harness.parallel` run specs.
+
+    ``barrier_period_us`` selects the Section 6.1 modified-EP shape
+    (:func:`ep_app` with periodic barriers, the Figure 2 knob) and
+    overrides ``bench``/``flavor``.
+    """
+
+    bench: str = "ep.C"
+    n_threads: int = 16
+    wait: str = "yield"
+    flavor: str = "upc"
+    total_compute_us: int = 2_000_000
+    barrier_period_us: Optional[int] = None
+
+    def build(self, system: "System") -> SpmdApp:
+        if self.wait not in WAIT_MODES:
+            raise ValueError(
+                f"unknown wait mode {self.wait!r}; expected one of {sorted(WAIT_MODES)}"
+            )
+        policy = WaitPolicy(mode=WAIT_MODES[self.wait])
+        if self.barrier_period_us is not None:
+            return ep_app(
+                system,
+                n_threads=self.n_threads,
+                wait_policy=policy,
+                total_compute_us=self.total_compute_us,
+                barrier_period_us=self.barrier_period_us,
+            )
+        return make_nas_app(
+            system,
+            self.bench,
+            n_threads=self.n_threads,
+            wait_policy=policy,
+            flavor=self.flavor,
+            total_compute_us=self.total_compute_us,
+        )
+
+    __call__ = build
 
 
 def ep_app(

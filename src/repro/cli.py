@@ -27,24 +27,17 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.apps.barriers import WaitPolicy
-from repro.apps.workloads import FULL_CATALOG, make_nas_app
+from repro.apps.workloads import FULL_CATALOG, WAIT_MODES, AppSpec, make_nas_app
 from repro.core import analytical
 from repro.harness import report
 from repro.harness.experiment import BALANCER_MODES, repeat_run, run_app
-from repro.sched.task import WaitMode
+from repro.harness.parallel import MACHINE_PRESETS
 from repro.topology import presets
 
-MACHINES = {
-    "tigerton": presets.tigerton,
-    "barcelona": presets.barcelona,
-    "nehalem": presets.nehalem,
-}
+#: the named machines (shared with repro.harness.parallel run specs)
+MACHINES = MACHINE_PRESETS
 
-WAITS = {
-    "yield": WaitMode.YIELD,
-    "sleep": WaitMode.SLEEP,
-    "spin": WaitMode.SPIN,
-}
+WAITS = WAIT_MODES
 
 
 def _cmd_machines(args: argparse.Namespace) -> int:
@@ -77,20 +70,19 @@ def _cmd_benches(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     machine = MACHINES[args.machine]
-    wait = WaitPolicy(mode=WAITS[args.wait])
     total_us = int(args.seconds * 1_000_000)
-
-    def factory(system):
-        return make_nas_app(
-            system, args.bench, n_threads=args.threads, wait_policy=wait,
-            total_compute_us=total_us,
-        )
+    # an AppSpec rather than a factory closure so --workers can ship the
+    # job to worker processes (closures do not pickle)
+    spec = AppSpec(
+        bench=args.bench, n_threads=args.threads, wait=args.wait,
+        total_compute_us=total_us,
+    )
 
     rows = []
     for mode in args.balancer:
         rr = repeat_run(
-            machine, factory, balancer=mode, cores=args.cores,
-            seeds=range(args.repeats),
+            machine, spec, balancer=mode, cores=args.cores,
+            seeds=range(args.repeats), workers=args.workers,
         )
         rows.append([
             mode.upper(),
@@ -205,6 +197,54 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Perf trajectory: run the bench suite, write/compare BENCH_*.json.
+
+    See :mod:`repro.harness.bench` and docs/performance.md.
+    """
+    from repro.harness import bench
+
+    results = bench.run_benches(
+        quick=args.quick,
+        rounds=args.rounds,
+        progress=lambda r: print(
+            f"  {r.name}: {r.wall_s:.3f}s, {r.events} events "
+            f"({r.events_per_sec / 1e3:.0f}k ev/s, best of {r.rounds})"
+        ),
+    )
+    payload = bench.to_payload(results, label=args.label, quick=args.quick)
+    path = bench.write_payload(payload, out_dir=args.out)
+    print(f"wrote {path}")
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is None:
+        return 0
+    if not baseline_path.exists():
+        print(f"baseline {baseline_path} not found; skipping comparison "
+              "(commit this run's output to establish one)")
+        return 0
+    comparisons = bench.compare_payloads(
+        bench.load_payload(baseline_path), payload,
+        threshold_pct=args.threshold,
+    )
+    rows = [
+        [c.name, c.baseline_wall_s, c.wall_s, c.delta_pct,
+         "REGRESSED" if c.regressed else "ok"]
+        for c in comparisons
+    ]
+    print(report.table(
+        ["bench", "baseline s", "now s", "delta %", "status"], rows,
+        title=f"vs {baseline_path} (threshold {args.threshold:g}%)",
+    ))
+    regressed = [c for c in comparisons if c.regressed]
+    if regressed:
+        names = ", ".join(c.name for c in regressed)
+        print(f"repro bench: {len(regressed)} regression(s): {names}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -227,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--balancer", nargs="+", default=["speed", "load"],
         choices=BALANCER_MODES,
+    )
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the seed repeats (results are "
+             "bit-identical to --workers 1; see docs/performance.md)",
     )
 
     model = sub.add_parser("model", help="print the Section 4 analytical model")
@@ -257,6 +302,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--repeats", type=int, default=2)
 
+    bench = sub.add_parser(
+        "bench",
+        help="perf trajectory: run the simulator bench suite, write "
+             "BENCH_<label>.json, compare against a baseline",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="reduced workloads (the CI perf-smoke flavour; only "
+             "comparable against a --quick baseline)",
+    )
+    bench.add_argument("--label", default="baseline",
+                       help="writes BENCH_<label>.json (default: baseline)")
+    bench.add_argument("--out", default=".",
+                       help="directory for the output file (default: .)")
+    bench.add_argument(
+        "--baseline", default=None,
+        help="previous BENCH_*.json to compare against (exit 1 on "
+             "regression beyond the threshold)",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=25.0,
+        help="wall-time regression threshold in percent (default: 25)",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=None,
+        help="timing rounds per bench, best-of (default: 3)",
+    )
+
     return parser
 
 
@@ -268,6 +341,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "model": _cmd_model,
         "check": _cmd_check,
+        "bench": _cmd_bench,
     }[args.command]
     try:
         return handler(args)

@@ -1,0 +1,242 @@
+"""Perf trajectory tracking: the ``repro bench`` suite.
+
+Every other bench in ``benchmarks/`` regenerates a paper artifact;
+this module tracks how *fast* the simulator itself is, over time.  It
+runs the simulator-performance suite (bare-engine event throughput)
+plus one representative figure scenario per workload shape -- the
+dedicated SPMD run behind Figure 3, the fine-grained-barrier shape
+behind Figure 2/cg.B, and the multiprogrammed cpu-hog shape behind
+Figure 5 -- and writes a machine-readable ``BENCH_<label>.json`` with
+per-bench wall time, dispatched-event counts and events/sec.
+
+Comparing two such files gives the perf trajectory: wall times and
+events/sec are hardware-dependent (only comparable on the same
+machine, and only between runs of the same ``quick`` flavour), while
+the dispatched-event counts are *deterministic* -- a count drift
+between two checkouts means simulated behaviour changed, which doubles
+as a cross-machine determinism tripwire.
+
+This module deliberately reads the wall clock (``time.perf_counter``);
+it measures the simulator from outside rather than participating in
+simulated time, so it carries a SIM003 entry in the
+``repro.analysis`` lint allowlist.  Nothing here makes scheduling
+decisions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.apps.multiprogram import CpuHog
+from repro.apps.workloads import AppSpec
+from repro.harness.experiment import run_app
+from repro.sim.engine import Engine
+from repro.topology import presets
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchResult",
+    "bench_names",
+    "compare_payloads",
+    "load_payload",
+    "run_benches",
+    "to_payload",
+    "write_payload",
+]
+
+BENCH_SCHEMA = 1
+
+
+@dataclass
+class BenchResult:
+    """One bench case: best-of-``rounds`` wall time and event counts."""
+
+    name: str
+    wall_s: float
+    events: int
+    rounds: int
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+# ----------------------------------------------------------------------
+# bench cases: each returns a zero-arg callable whose result is the
+# number of engine events the round dispatched
+# ----------------------------------------------------------------------
+def _engine_throughput(quick: bool) -> Callable[[], int]:
+    """The bare dispatch loop: n self-scheduling events, no simulator."""
+    n = 20_000 if quick else 100_000
+
+    def round() -> int:
+        eng = Engine()
+        count = [0]
+
+        def tick() -> None:
+            count[0] += 1
+            if count[0] < n:
+                eng.schedule(1, tick)
+
+        eng.schedule(0, tick)
+        eng.run()
+        return eng.dispatched
+
+    return round
+
+
+def _scenario(spec: AppSpec, balancer: str, cores: int,
+              corunner: bool = False) -> Callable[[], int]:
+    def round() -> int:
+        corunners = [lambda s: CpuHog(s, core=0)] if corunner else ()
+        _, system = run_app(
+            presets.tigerton, spec, balancer=balancer, cores=cores,
+            seed=1, corunner_factories=corunners, return_system=True,
+        )
+        return system.engine.dispatched
+
+    return round
+
+
+def _ep_dedicated(quick: bool) -> Callable[[], int]:
+    """Figure 3 shape: dedicated EP, 16 threads on 12 Tigerton cores."""
+    spec = AppSpec(bench="ep.C", n_threads=16, wait="yield",
+                   total_compute_us=100_000 if quick else 1_000_000)
+    return _scenario(spec, "speed", 12)
+
+
+def _fine_grained_barriers(quick: bool) -> Callable[[], int]:
+    """Figure 2 / cg.B shape: 4 ms barriers, the event-heaviest shape."""
+    spec = AppSpec(bench="cg.B", n_threads=16, wait="yield",
+                   total_compute_us=50_000 if quick else 200_000)
+    return _scenario(spec, "speed", 12)
+
+
+def _multiprogrammed_hog(quick: bool) -> Callable[[], int]:
+    """Figure 5 shape: sleeping-wait EP sharing the machine with a hog."""
+    spec = AppSpec(bench="ep.C", n_threads=8, wait="sleep",
+                   total_compute_us=100_000 if quick else 500_000)
+    return _scenario(spec, "speed", 8, corunner=True)
+
+
+#: name -> case builder; insertion order is report order
+CASES: dict[str, Callable[[bool], Callable[[], int]]] = {
+    "engine_throughput": _engine_throughput,
+    "ep_dedicated": _ep_dedicated,
+    "fine_grained_barriers": _fine_grained_barriers,
+    "multiprogrammed_hog": _multiprogrammed_hog,
+}
+
+
+def bench_names() -> list[str]:
+    return list(CASES)
+
+
+def run_benches(
+    quick: bool = False,
+    rounds: Optional[int] = None,
+    progress: Optional[Callable[[BenchResult], None]] = None,
+) -> list[BenchResult]:
+    """Run every case ``rounds`` times; keep the best wall time."""
+    if rounds is None:
+        rounds = 3
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1 (got {rounds})")
+    results = []
+    for name, build in CASES.items():
+        round_fn = build(quick)
+        best: Optional[float] = None
+        events = 0
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            events = round_fn()
+            elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                best = elapsed
+        result = BenchResult(name=name, wall_s=best or 0.0,
+                             events=events, rounds=rounds)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results
+
+
+# ----------------------------------------------------------------------
+# payloads: BENCH_<label>.json
+# ----------------------------------------------------------------------
+def to_payload(results: list[BenchResult], label: str, quick: bool) -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "quick": quick,
+        "benches": {
+            r.name: {**asdict(r), "events_per_sec": round(r.events_per_sec, 1)}
+            for r in results
+        },
+    }
+
+
+def write_payload(payload: dict, out_dir: Union[str, Path] = ".") -> Path:
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{payload['label']}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_payload(path: Union[str, Path]) -> dict:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {payload.get('schema')!r} "
+            f"(this build reads schema {BENCH_SCHEMA})"
+        )
+    return payload
+
+
+@dataclass
+class Comparison:
+    """Wall-time delta of one bench between two payloads."""
+
+    name: str
+    baseline_wall_s: float
+    wall_s: float
+    #: percent change; positive = slower than the baseline
+    delta_pct: float
+    regressed: bool
+
+
+def compare_payloads(
+    baseline: dict, current: dict, threshold_pct: float = 25.0
+) -> list[Comparison]:
+    """Per-bench wall-time regressions of ``current`` vs ``baseline``.
+
+    A bench regresses when it is more than ``threshold_pct`` percent
+    slower than the baseline.  Benches present in only one payload are
+    skipped (new benches have no trajectory yet).  Comparing a quick
+    run against a full baseline is refused: their workloads differ.
+    """
+    if baseline.get("quick") != current.get("quick"):
+        raise ValueError(
+            "cannot compare a quick bench run against a non-quick baseline; "
+            "regenerate the baseline with the same --quick flag"
+        )
+    out = []
+    for name, cur in current["benches"].items():
+        base = baseline["benches"].get(name)
+        if base is None:
+            continue
+        old, new = base["wall_s"], cur["wall_s"]
+        delta_pct = (new / old - 1.0) * 100.0 if old > 0 else 0.0
+        out.append(Comparison(
+            name=name,
+            baseline_wall_s=old,
+            wall_s=new,
+            delta_pct=delta_pct,
+            regressed=delta_pct > threshold_pct,
+        ))
+    return out

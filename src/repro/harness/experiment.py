@@ -119,6 +119,13 @@ def run_app(
         core_list = list(range(cores))
     else:
         core_list = sorted(cores)
+        if len(core_list) != len(set(core_list)):
+            dups = sorted({c for c in core_list if core_list.count(c) > 1})
+            raise ValueError(
+                f"duplicate core ids {dups} in core subset {core_list}; "
+                "each core may appear at most once (duplicates would "
+                "silently inflate n_cores in the results)"
+            )
     if core_list is not None:
         if not core_list:
             raise ValueError("the core subset is empty")
@@ -163,6 +170,7 @@ def repeat_run(
     balancer: str = "speed",
     cores: Optional[Union[int, Sequence[int]]] = None,
     seeds: Iterable[int] = range(10),
+    workers: Optional[int] = 1,
     **kwargs,
 ) -> RepeatedResult:
     """The paper's methodology: "repeated ten times or more".
@@ -171,16 +179,38 @@ def repeat_run(
     machine *factory* should be passed rather than an instance when the
     machine object is mutated by runs (presets are safe either way; a
     fresh System is built per run regardless).
+
+    ``workers`` fans the seeds out over that many worker processes via
+    :mod:`repro.harness.parallel` (``None`` = one per CPU).  Each seed
+    is an independent deterministic simulation, so results are
+    bit-identical to the default serial path -- they are reassembled in
+    seed order regardless of completion order.  With ``workers > 1``
+    the machine, ``app_factory`` and every extra keyword argument must
+    pickle (preset names, :class:`~repro.apps.workloads.AppSpec` and
+    module-level functions do; closures do not).
     """
-    runs = [
-        run_app(
-            machine,
-            app_factory,
-            balancer=balancer,
-            cores=cores,
-            seed=s,
-            **kwargs,
-        )
-        for s in seeds
-    ]
+    if workers == 1:
+        runs = [
+            run_app(
+                machine,
+                app_factory,
+                balancer=balancer,
+                cores=cores,
+                seed=s,
+                **kwargs,
+            )
+            for s in seeds
+        ]
+    else:
+        # imported here: parallel builds on this module, not vice versa
+        from repro.harness.parallel import RunSpec, map_specs
+
+        specs = [
+            RunSpec.make(
+                machine, app_factory, balancer=balancer, cores=cores,
+                seed=s, **kwargs,
+            )
+            for s in seeds
+        ]
+        runs = map_specs(specs, workers=workers)
     return RepeatedResult(runs=runs)

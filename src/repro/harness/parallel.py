@@ -1,0 +1,232 @@
+"""Process-pool fan-out for independent simulator runs.
+
+The paper's methodology ("repeated ten times or more", grids of core
+counts x balancer modes x barrier periods) generates large batches of
+fully independent, seed-deterministic simulations.  This module runs
+such batches across worker processes while keeping the results
+*bit-identical* to a serial execution:
+
+* every job is described by a picklable :class:`RunSpec` (machine
+  preset name or registered factory, app spec, balancer mode, core
+  subset, seed, extra ``run_app`` keyword parameters);
+* each worker builds its own :class:`~repro.system.System` from the
+  spec and returns the :class:`~repro.metrics.results.AppRunResult`;
+* results are reassembled in submission (seed/grid) order regardless
+  of completion order, so aggregation downstream sees the exact
+  sequence a serial loop would have produced.
+
+Pickling rules
+--------------
+``ProcessPoolExecutor`` ships jobs to workers with :mod:`pickle`:
+
+* machine: pass a **preset name** (``"tigerton"``, ``"barcelona"``,
+  ``"nehalem"`` or anything added via :func:`register_machine`) or a
+  module-level factory function.  Closures and lambdas do not pickle.
+* app: pass an :class:`~repro.apps.workloads.AppSpec` (preferred) or a
+  module-level ``system -> app`` factory function.
+* extra params (``cfs_params``, ``speed_config`` ...): plain
+  dataclasses of values pickle fine; ``instrument`` callbacks and
+  other closures do not -- run those with ``workers=1``.
+
+:func:`map_specs` pre-checks every spec and raises a descriptive
+``ValueError`` naming the offending field before any process is
+spawned.
+
+Registered factories added at runtime (not importable from a module)
+are only visible to workers on platforms whose process start method is
+``fork`` (Linux); prefer module-level factories for portability.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+from repro.harness.experiment import run_app
+from repro.metrics.results import AppRunResult
+from repro.topology import presets
+from repro.topology.machine import Machine
+
+__all__ = [
+    "MACHINE_PRESETS",
+    "RunSpec",
+    "map_specs",
+    "register_machine",
+    "resolve_machine",
+    "run_spec",
+    "starmap_kwargs",
+]
+
+#: machine factories resolvable by name in a :class:`RunSpec`
+MACHINE_PRESETS: dict[str, Callable[[], Machine]] = {
+    "tigerton": presets.tigerton,
+    "barcelona": presets.barcelona,
+    "nehalem": presets.nehalem,
+}
+
+
+def register_machine(name: str, factory: Callable[[], Machine]) -> None:
+    """Make ``factory`` resolvable as ``RunSpec(machine=name)``."""
+    if not callable(factory):
+        raise ValueError(f"machine factory for {name!r} is not callable")
+    MACHINE_PRESETS[name] = factory
+
+
+def resolve_machine(
+    machine: Union[str, Machine, Callable[[], Machine]],
+) -> Union[Machine, Callable[[], Machine]]:
+    """Turn a preset name into its factory; pass anything else through."""
+    if isinstance(machine, str):
+        try:
+            return MACHINE_PRESETS[machine]
+        except KeyError:
+            raise ValueError(
+                f"unknown machine preset {machine!r}; expected one of "
+                f"{sorted(MACHINE_PRESETS)} (see register_machine)"
+            ) from None
+    return machine
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One picklable, self-contained ``run_app`` job.
+
+    ``params`` holds any extra keyword arguments for
+    :func:`~repro.harness.experiment.run_app` as a sorted tuple of
+    ``(name, value)`` pairs -- a canonical form that keeps equal specs
+    equal.  Build it with :meth:`make` to get the normalization for
+    free.
+    """
+
+    machine: Union[str, Machine, Callable[[], Machine]]
+    app: Callable  # AppSpec or module-level ``system -> app`` factory
+    balancer: str = "speed"
+    cores: Optional[Union[int, tuple[int, ...]]] = None
+    seed: int = 0
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        machine: Union[str, Machine, Callable[[], Machine]],
+        app: Callable,
+        balancer: str = "speed",
+        cores: Optional[Union[int, Sequence[int]]] = None,
+        seed: int = 0,
+        **params: Any,
+    ) -> "RunSpec":
+        if cores is not None and not isinstance(cores, int):
+            cores = tuple(cores)
+        return cls(
+            machine=machine,
+            app=app,
+            balancer=balancer,
+            cores=cores,
+            seed=seed,
+            params=tuple(sorted(params.items())),
+        )
+
+
+def run_spec(spec: RunSpec) -> AppRunResult:
+    """Execute one :class:`RunSpec` (in this process) via ``run_app``."""
+    cores = spec.cores
+    if isinstance(cores, tuple):
+        cores = list(cores)
+    return run_app(
+        resolve_machine(spec.machine),
+        spec.app,
+        balancer=spec.balancer,
+        cores=cores,
+        seed=spec.seed,
+        **dict(spec.params),
+    )
+
+
+def _require_picklable(obj: Any, what: str) -> None:
+    try:
+        pickle.dumps(obj)
+    except Exception as exc:
+        raise ValueError(
+            f"{what} does not pickle ({exc}); parallel execution sends jobs "
+            "to worker processes, so pass machine preset names, AppSpec "
+            "instances or module-level functions -- or fall back to workers=1"
+        ) from None
+
+
+def _fan_out(
+    submit_args: Sequence[tuple],
+    fn: Callable,
+    workers: int,
+) -> list:
+    """Run ``fn(*args)`` for each args tuple; results in submission order."""
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, *args) for args in submit_args]
+        return [f.result() for f in futures]
+
+
+def _normalize_workers(workers: Optional[int]) -> int:
+    if workers is None:
+        import os
+
+        return max(1, os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1 (got {workers})")
+    return workers
+
+
+def map_specs(
+    specs: Iterable[RunSpec],
+    workers: Optional[int] = 1,
+    progress: Optional[Callable[[RunSpec, AppRunResult], None]] = None,
+) -> list[AppRunResult]:
+    """Run every spec; return results in input order.
+
+    ``workers=1`` (default) runs serially in-process -- the exact same
+    code path a direct ``run_app`` loop takes.  ``workers=None`` uses
+    one worker per CPU.  With workers, ``progress`` is still invoked in
+    deterministic input order, after all results are in.
+    """
+    specs = list(specs)
+    workers = _normalize_workers(workers)
+    if workers == 1 or len(specs) <= 1:
+        results = []
+        for spec in specs:
+            result = run_spec(spec)
+            results.append(result)
+            if progress is not None:
+                progress(spec, result)
+        return results
+    for i, spec in enumerate(specs):
+        _require_picklable(spec, f"RunSpec #{i} ({spec.balancer}, seed={spec.seed})")
+    results = _fan_out([(spec,) for spec in specs], run_spec, workers)
+    if progress is not None:
+        for spec, result in zip(specs, results):
+            progress(spec, result)
+    return results
+
+
+def _apply_kwargs(fn: Callable, kwargs: dict) -> Any:
+    return fn(**kwargs)
+
+
+def starmap_kwargs(
+    fn: Callable[..., Any],
+    kwargs_list: Sequence[dict],
+    workers: Optional[int] = 1,
+) -> list:
+    """``[fn(**kw) for kw in kwargs_list]`` across worker processes.
+
+    The generic fan-out behind ``sweep(workers=N)``: outcomes come back
+    in input order, so grid assembly is independent of completion
+    order.  ``fn``, every kwargs dict and every outcome must pickle.
+    """
+    kwargs_list = list(kwargs_list)
+    workers = _normalize_workers(workers)
+    if workers == 1 or len(kwargs_list) <= 1:
+        return [fn(**kw) for kw in kwargs_list]
+    _require_picklable(fn, f"runner {getattr(fn, '__name__', fn)!r}")
+    for i, kw in enumerate(kwargs_list):
+        _require_picklable(kw, f"parameter assignment #{i} ({kw})")
+    return _fan_out([(fn, kw) for kw in kwargs_list], _apply_kwargs, workers)

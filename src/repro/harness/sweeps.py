@@ -70,20 +70,41 @@ def sweep(
     grid: Mapping[str, Sequence],
     runner: Callable[..., Any],
     progress: Callable[[dict, Any], None] | None = None,
+    workers: int | None = 1,
 ) -> SweepResult:
     """Run ``runner(**assignment)`` over the cartesian grid.
 
     ``progress`` (optional) is called after each point with the
     assignment dict and the outcome -- handy for long sweeps.
+
+    ``workers`` fans the grid points out over worker processes via
+    :mod:`repro.harness.parallel` (``None`` = one per CPU).  The grid
+    is reassembled -- and ``progress`` invoked -- in deterministic
+    cartesian-product order regardless of completion order, so
+    ``SweepResult`` is identical to a serial sweep.  The runner, every
+    assignment and every outcome must pickle with ``workers > 1``
+    (module-level runner functions do; lambdas and closures do not).
     """
     if not grid:
         raise ValueError("empty parameter grid")
     names = tuple(grid.keys())
+    combos = list(itertools.product(*(grid[n] for n in names)))
     points: dict[tuple, Any] = {}
-    for combo in itertools.product(*(grid[n] for n in names)):
-        assignment = dict(zip(names, combo))
-        outcome = runner(**assignment)
-        points[combo] = outcome
-        if progress is not None:
-            progress(assignment, outcome)
+    if workers == 1:
+        for combo in combos:
+            assignment = dict(zip(names, combo))
+            outcome = runner(**assignment)
+            points[combo] = outcome
+            if progress is not None:
+                progress(assignment, outcome)
+    else:
+        # imported here: parallel builds on the harness, not vice versa
+        from repro.harness.parallel import starmap_kwargs
+
+        assignments = [dict(zip(names, combo)) for combo in combos]
+        outcomes = starmap_kwargs(runner, assignments, workers=workers)
+        for combo, assignment, outcome in zip(combos, assignments, outcomes):
+            points[combo] = outcome
+            if progress is not None:
+                progress(assignment, outcome)
     return SweepResult(param_names=names, points=points)

@@ -8,7 +8,7 @@ more").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.metrics import stats
 
@@ -76,6 +76,17 @@ class AppRunResult:
         if not self.thread_compute_us or max(self.thread_compute_us) == 0:
             return 1.0
         return min(self.thread_compute_us) / max(self.thread_compute_us)
+
+    def as_dict(self) -> dict:
+        """All measured fields as a plain JSON-able dict.
+
+        Results are plain dataclasses of ints/strs/lists, so they both
+        pickle (crossing process boundaries in
+        :mod:`repro.harness.parallel`) and serialize canonically --
+        ``json.dumps(r.as_dict(), sort_keys=True)`` is the byte-exact
+        form the serial-vs-parallel determinism tests compare.
+        """
+        return asdict(self)
 
 
 @dataclass

@@ -11,19 +11,39 @@ The engine is deliberately minimal -- a heap of ``(time, seq, event)``
 triples -- because the simulator above it (cores, balancers, barrier
 timeouts) cancels and reschedules events constantly.  Cancellation is
 lazy: a cancelled event stays in the heap but is skipped when popped,
-which keeps ``cancel`` O(1).
+which keeps ``cancel`` O(1).  The engine tracks how many cancelled
+entries the heap holds, so :attr:`Engine.pending` is O(1), and when
+cancelled entries outnumber live ones the heap is compacted in place
+(amortized O(1) per cancel) so pathological cancel/reschedule churn
+cannot grow the heap without bound.
 
 The engine knows nothing about cores or tasks; higher layers register
 plain callbacks.  This keeps the kernel independently testable and lets
 the same loop drive the analytical micro-models in the test suite.
+
+Dispatch fast path
+------------------
+``run`` and ``step`` share one dispatch body (:meth:`Engine._drain`) so
+the two can never drift apart (the backwards-time and ``max_events``
+guards historically existed only in ``run``).  The shared loop binds
+hot globals and attributes to locals and keeps the per-event observer
+hook to a single truthiness test on a local alias of
+:attr:`Engine.observers`, which makes the common no-observer case a
+specialized tight loop while still honouring observers installed
+before the run (the list is aliased, not copied, so in-place
+``append``/``remove`` are seen immediately).
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 __all__ = ["Engine", "Event", "SimulationError"]
+
+#: heap sizes below this are never compacted -- rebuilding a tiny heap
+#: costs more bookkeeping than the cancelled entries it would reclaim.
+_COMPACT_MIN_HEAP = 64
 
 
 class SimulationError(RuntimeError):
@@ -40,21 +60,39 @@ class Event:
     """Handle for a scheduled callback.
 
     Instances are created by :meth:`Engine.schedule`; user code only
-    ever calls :meth:`cancel` or inspects :attr:`time`.
+    ever calls :meth:`cancel` or inspects :attr:`time`.  ``engine`` and
+    ``in_heap`` are engine-internal bookkeeping for the O(1) live-event
+    counter; events forged without them (``engine=None``) still behave,
+    they are just excluded from the cancelled-entry accounting.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "cancelled", "label", "engine", "in_heap")
 
-    def __init__(self, time: int, seq: int, callback: Callable[[], Any], label: str):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[[], Any],
+        label: str,
+        engine: Optional["Engine"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
         self.label = label
+        self.engine = engine
+        # engine-created events are pushed immediately after construction
+        self.in_heap = engine is not None
 
     def cancel(self) -> None:
-        """Prevent the callback from firing.  Idempotent, O(1)."""
+        """Prevent the callback from firing.  Idempotent, O(1) amortized."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        eng = self.engine
+        if eng is not None and self.in_heap:
+            eng._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:  # heap ordering
         return (self.time, self.seq) < (other.time, other.seq)
@@ -90,6 +128,8 @@ class Engine:
         self._heap: list[Event] = []
         self._seq: int = 0
         self._dispatched: int = 0
+        #: cancelled events still sitting in the heap (lazy deletion)
+        self._cancelled: int = 0
         self.max_events = max_events
         self._running = False
         self._stop_requested = False
@@ -112,15 +152,20 @@ class Engine:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}us in the past (now={self.now})")
-        return self.schedule_at(self.now + int(delay), callback, label)
+        # inlined schedule_at: delay >= 0 already guarantees time >= now,
+        # and this is the hottest allocation site in the simulator.
+        ev = Event(self.now + int(delay), self._seq, callback, label, self)
+        self._seq += 1
+        heappush(self._heap, ev)
+        return ev
 
     def schedule_at(self, time: int, callback: Callable[[], Any], label: str = "") -> Event:
         """Schedule ``callback`` at absolute simulation ``time``."""
         if time < self.now:
             raise SimulationError(f"cannot schedule at t={time} before now={self.now}")
-        ev = Event(int(time), self._seq, callback, label)
+        ev = Event(int(time), self._seq, callback, label, self)
         self._seq += 1
-        heapq.heappush(self._heap, ev)
+        heappush(self._heap, ev)
         return ev
 
     # ------------------------------------------------------------------
@@ -138,31 +183,67 @@ class Engine:
         self._running = True
         self._stop_requested = False
         try:
-            while self._heap and not self._stop_requested:
-                ev = self._heap[0]
-                if ev.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and ev.time > until:
-                    break
-                heapq.heappop(self._heap)
-                if self.observers:
-                    for obs in self.observers:
-                        obs(ev)
-                if ev.time < self.now:  # pragma: no cover - defensive
-                    raise SimulationError("event queue time went backwards")
-                self.now = ev.time
-                self._dispatched += 1
-                if self._dispatched > self.max_events:
-                    raise SimulationError(
-                        f"event limit exceeded ({self.max_events}); "
-                        f"likely livelock near t={self.now} (last: {ev.label!r})"
-                    )
-                ev.callback()
+            self._drain(until, single=False)
             if until is not None and self.now < until and not self._stop_requested:
                 self.now = until
         finally:
             self._running = False
+
+    def step(self) -> bool:
+        """Dispatch a single event.  Returns False if the queue is empty.
+
+        ``step`` shares the dispatch body with :meth:`run` (same
+        backwards-time guard, ``max_events`` guard and observer
+        notification); unlike ``run`` it ignores :meth:`stop` requests,
+        which only scope over the run they interrupt.
+        """
+        return self._drain(None, single=True)
+
+    def _drain(self, until: Optional[int], single: bool) -> bool:
+        """The one dispatch loop behind both :meth:`run` and :meth:`step`.
+
+        Returns True iff at least one event was dispatched (the value
+        :meth:`step` reports).  Hot attributes are bound to locals; the
+        observer list is aliased so in-place mutation is still honoured
+        while the empty-observer test stays a single local truthiness
+        check.
+        """
+        heap = self._heap
+        pop = heappop
+        limit = self.max_events
+        observers = self.observers  # alias, not copy: live hook list
+        dispatched_any = False
+        while heap and (single or not self._stop_requested):
+            ev = heap[0]
+            if ev.cancelled:
+                pop(heap)
+                ev.in_heap = False
+                if ev.engine is not None:
+                    self._cancelled -= 1
+                continue
+            t = ev.time
+            if until is not None and t > until:
+                break
+            pop(heap)
+            ev.in_heap = False
+            if observers:
+                for obs in observers:
+                    obs(ev)
+            if t < self.now:  # pragma: no cover - defensive
+                raise SimulationError("event queue time went backwards")
+            self.now = t
+            d = self._dispatched + 1
+            self._dispatched = d
+            if d > limit:
+                raise SimulationError(
+                    f"event limit exceeded ({limit}); "
+                    f"likely livelock near t={self.now} (last: {ev.label!r})"
+                )
+            ev.callback()
+            if single:
+                return True
+            dispatched_any = True
+        return dispatched_any
 
     def stop(self) -> None:
         """Request the current :meth:`run` to return after this event.
@@ -173,35 +254,44 @@ class Engine:
         """
         self._stop_requested = True
 
-    def step(self) -> bool:
-        """Dispatch a single event.  Returns False if the queue is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+    # ------------------------------------------------------------------
+    # cancelled-entry accounting
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Count a cancellation; compact when the heap is mostly dead.
+
+        Called by :meth:`Event.cancel` for events the engine scheduled
+        (and that are still queued).  Compaction rewrites the heap in
+        place, so a ``run`` loop holding a local alias keeps working.
+        """
+        self._cancelled += 1
+        heap = self._heap
+        if self._cancelled * 2 > len(heap) and len(heap) >= _COMPACT_MIN_HEAP:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place."""
+        heap = self._heap
+        live = [ev for ev in heap if not ev.cancelled]
+        for ev in heap:
             if ev.cancelled:
-                continue
-            if self.observers:
-                for obs in self.observers:
-                    obs(ev)
-            if ev.time < self.now:  # pragma: no cover - defensive
-                raise SimulationError("event queue time went backwards")
-            self.now = ev.time
-            self._dispatched += 1
-            if self._dispatched > self.max_events:
-                raise SimulationError(
-                    f"event limit exceeded ({self.max_events}); "
-                    f"likely livelock near t={self.now} (last: {ev.label!r})"
-                )
-            ev.callback()
-            return True
-        return False
+                ev.in_heap = False
+        heap[:] = live
+        heapify(heap)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1).
+
+        Maintained as ``len(heap) - cancelled_in_heap``; events forged
+        directly into the heap without an engine backref (test-only) are
+        counted as live until popped.
+        """
+        return len(self._heap) - self._cancelled
 
     @property
     def dispatched(self) -> int:
@@ -210,6 +300,10 @@ class Engine:
 
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            ev = heappop(heap)
+            ev.in_heap = False
+            if ev.engine is not None:
+                self._cancelled -= 1
+        return heap[0].time if heap else None

@@ -1,0 +1,142 @@
+"""Tests for the perf-trajectory harness (``repro bench``)."""
+
+import json
+
+import pytest
+
+from repro.harness import bench
+
+
+def fast_results():
+    return [
+        bench.BenchResult(name="engine_throughput", wall_s=0.5,
+                          events=100_000, rounds=3),
+        bench.BenchResult(name="ep_dedicated", wall_s=2.0,
+                          events=5_000, rounds=3),
+    ]
+
+
+class TestRunBenches:
+    def test_quick_suite_runs_every_case(self):
+        seen = []
+        results = bench.run_benches(quick=True, rounds=1,
+                                    progress=lambda r: seen.append(r.name))
+        assert [r.name for r in results] == bench.bench_names()
+        assert seen == bench.bench_names()
+        for r in results:
+            assert r.wall_s > 0
+            assert r.events > 0
+            assert r.events_per_sec > 0
+
+    def test_event_counts_are_deterministic(self):
+        a = bench.run_benches(quick=True, rounds=1)
+        b = bench.run_benches(quick=True, rounds=1)
+        assert [r.events for r in a] == [r.events for r in b]
+
+    def test_bad_rounds_rejected(self):
+        with pytest.raises(ValueError, match="rounds"):
+            bench.run_benches(quick=True, rounds=0)
+
+
+class TestPayloads:
+    def test_roundtrip(self, tmp_path):
+        payload = bench.to_payload(fast_results(), label="t", quick=True)
+        path = bench.write_payload(payload, out_dir=tmp_path)
+        assert path.name == "BENCH_t.json"
+        assert bench.load_payload(path) == payload
+
+    def test_payload_shape(self):
+        payload = bench.to_payload(fast_results(), label="x", quick=False)
+        assert payload["schema"] == bench.BENCH_SCHEMA
+        entry = payload["benches"]["engine_throughput"]
+        assert entry["wall_s"] == 0.5
+        assert entry["events"] == 100_000
+        assert entry["events_per_sec"] == 200_000.0
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        p = tmp_path / "BENCH_bad.json"
+        p.write_text(json.dumps({"schema": 99, "benches": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            bench.load_payload(p)
+
+
+class TestCompare:
+    @staticmethod
+    def payload_with_wall(wall_s):
+        return bench.to_payload(
+            [bench.BenchResult(name="ep_dedicated", wall_s=wall_s,
+                               events=1000, rounds=1)],
+            label="t", quick=True)
+
+    def payloads(self, old_wall, new_wall):
+        return self.payload_with_wall(old_wall), self.payload_with_wall(new_wall)
+
+    def test_within_threshold_ok(self):
+        old, new = self.payloads(1.0, 1.2)
+        (c,) = bench.compare_payloads(old, new, threshold_pct=25.0)
+        assert not c.regressed
+        assert c.delta_pct == pytest.approx(20.0)
+
+    def test_beyond_threshold_regresses(self):
+        old, new = self.payloads(1.0, 1.3)
+        (c,) = bench.compare_payloads(old, new, threshold_pct=25.0)
+        assert c.regressed
+
+    def test_speedups_never_regress(self):
+        old, new = self.payloads(1.0, 0.5)
+        (c,) = bench.compare_payloads(old, new, threshold_pct=25.0)
+        assert not c.regressed
+        assert c.delta_pct == pytest.approx(-50.0)
+
+    def test_quick_flavour_mismatch_refused(self):
+        old, new = self.payloads(1.0, 1.0)
+        old["quick"] = False
+        with pytest.raises(ValueError, match="quick"):
+            bench.compare_payloads(old, new)
+
+    def test_new_benches_skipped(self):
+        old, new = self.payloads(1.0, 1.0)
+        del old["benches"]["ep_dedicated"]
+        assert bench.compare_payloads(old, new) == []
+
+
+class TestBenchCli:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(["bench", "--rounds", "1", "--quick", *argv])
+
+    def test_writes_baseline(self, tmp_path, capsys):
+        assert self.run_cli("--out", str(tmp_path), "--label", "ci") == 0
+        payload = bench.load_payload(tmp_path / "BENCH_ci.json")
+        assert payload["quick"] is True
+        assert set(payload["benches"]) == set(bench.bench_names())
+
+    def test_missing_baseline_is_not_fatal(self, tmp_path, capsys):
+        rc = self.run_cli("--out", str(tmp_path),
+                          "--baseline", str(tmp_path / "nope.json"))
+        assert rc == 0
+        assert "skipping comparison" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        assert self.run_cli("--out", str(tmp_path), "--label", "old") == 0
+        baseline = tmp_path / "BENCH_old.json"
+        payload = bench.load_payload(baseline)
+        for entry in payload["benches"].values():
+            entry["wall_s"] /= 100.0  # pretend the past was 100x faster
+        baseline.write_text(json.dumps(payload))
+        rc = self.run_cli("--out", str(tmp_path), "--label", "new",
+                          "--baseline", str(baseline))
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_comparison_passes_against_self(self, tmp_path, capsys):
+        assert self.run_cli("--out", str(tmp_path), "--label", "old") == 0
+        baseline = bench.load_payload(tmp_path / "BENCH_old.json")
+        # loosen wall times so scheduler noise cannot flake the test
+        for entry in baseline["benches"].values():
+            entry["wall_s"] *= 10.0
+        (tmp_path / "BENCH_old.json").write_text(json.dumps(baseline))
+        rc = self.run_cli("--out", str(tmp_path), "--label", "new",
+                          "--baseline", str(tmp_path / "BENCH_old.json"))
+        assert rc == 0

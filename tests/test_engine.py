@@ -214,6 +214,90 @@ class TestRunControl:
         assert eng.dispatched == 5
 
 
+class TestCancellationAccounting:
+    """pending is O(1) bookkeeping; it must agree with a heap scan."""
+
+    @staticmethod
+    def brute_pending(eng):
+        return sum(1 for ev in eng._heap if not ev.cancelled)
+
+    def test_pending_consistent_under_heavy_cancellation(self):
+        eng = Engine()
+        events = [eng.schedule(i + 1, lambda: None) for i in range(500)]
+        assert eng.pending == self.brute_pending(eng) == 500
+        # cancel in an adversarial deterministic pattern: every 2nd,
+        # then every 3rd of the rest, repeatedly triggering compaction
+        for stride in (2, 3, 1):
+            for ev in events[::stride]:
+                ev.cancel()
+                assert eng.pending == self.brute_pending(eng)
+        assert eng.pending == 0
+
+    def test_compaction_shrinks_heap(self):
+        eng = Engine()
+        events = [eng.schedule(i + 1, lambda: None) for i in range(200)]
+        for ev in events[:150]:
+            ev.cancel()
+        # >half cancelled on a large heap => compacted in place
+        assert len(eng._heap) <= 100
+        assert eng.pending == 50
+        fired = []
+        for ev in events[150:]:
+            ev.callback = lambda: fired.append(1)
+        eng.run()
+        assert len(fired) == 50
+
+    def test_small_heaps_not_compacted(self):
+        eng = Engine()
+        events = [eng.schedule(i + 1, lambda: None) for i in range(10)]
+        for ev in events:
+            ev.cancel()
+        assert len(eng._heap) == 10  # lazy deletion still in effect
+        assert eng.pending == 0
+
+    def test_cancel_after_dispatch_does_not_corrupt_pending(self):
+        eng = Engine()
+        handle = eng.schedule(1, lambda: None)
+        eng.schedule(2, lambda: None)
+        assert eng.step()
+        handle.cancel()  # already fired: must not count against the heap
+        assert eng.pending == 1 == self.brute_pending(eng)
+
+    def test_cancel_reschedule_churn_stays_bounded(self):
+        # the balancer-timer pattern: cancel + reschedule forever must
+        # not grow the heap without bound (lazy deletion alone would)
+        eng = Engine()
+        timer = eng.schedule(10, lambda: None)
+        for i in range(10_000):
+            timer.cancel()
+            timer = eng.schedule(10 + i, lambda: None)
+            assert eng.pending == 1
+        assert len(eng._heap) < 200
+
+    def test_forged_event_without_engine_is_safe(self):
+        eng = Engine()
+        eng.schedule(5, lambda: None)
+        forged = Event(7, 10**9, lambda: None, "forged")
+        heapq.heappush(eng._heap, forged)
+        forged.cancel()  # no engine backref: silently uncounted
+        assert eng.pending == 2  # conservative: counted live until popped
+        eng.run()
+        assert eng.pending == 0
+
+    def test_pending_during_run(self):
+        eng = Engine()
+        seen = []
+        later = eng.schedule(20, lambda: None)
+
+        def first():
+            later.cancel()
+            seen.append(eng.pending)
+
+        eng.schedule(10, first)
+        eng.run()
+        assert seen == [0]
+
+
 class TestIntrospection:
     def test_peek_time(self):
         eng = Engine()

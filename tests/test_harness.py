@@ -139,3 +139,18 @@ class TestCoreSubsetValidation:
     def test_empty_subset_rejected(self):
         with pytest.raises(ValueError, match="empty"):
             run_app(presets.uniform(4), ep_factory, balancer="pinned", cores=[])
+
+    def test_duplicate_cores_rejected(self):
+        with pytest.raises(ValueError, match=r"duplicate core ids \[1\]"):
+            run_app(
+                presets.uniform(4), ep_factory, balancer="pinned",
+                cores=[0, 1, 1, 2],
+            )
+
+    def test_duplicates_do_not_inflate_n_cores(self):
+        # the old behaviour kept duplicates: n_cores silently became 4
+        with pytest.raises(ValueError, match="duplicate"):
+            run_app(
+                presets.uniform(4), ep_factory, balancer="pinned",
+                cores=(2, 2, 3, 3),
+            )

@@ -117,3 +117,33 @@ class TestRepeatedResult:
         fast = RepeatedResult(runs=[run(90_000), run(100_000)])
         slow = RepeatedResult(runs=[run(90_000), run(170_000)])
         assert fast.improvement_worst_pct(slow) == pytest.approx(70.0)
+
+
+class TestResultPortability:
+    """Results cross process boundaries (parallel harness) and files."""
+
+    def sample(self):
+        return run(250_000, seed=3, migrations=2,
+                   thread_exec_us=[1, 2], thread_compute_us=[1, 1],
+                   thread_finish_us=[9, 10], system_migrations=5)
+
+    def test_pickle_roundtrip_is_equal(self):
+        import pickle
+
+        r = self.sample()
+        assert pickle.loads(pickle.dumps(r)) == r
+        rr = RepeatedResult(runs=[r, run(300_000, seed=4)])
+        assert pickle.loads(pickle.dumps(rr)) == rr
+
+    def test_as_dict_is_json_canonical(self):
+        import json
+
+        r = self.sample()
+        d = r.as_dict()
+        assert d["elapsed_us"] == 250_000
+        assert d["thread_finish_us"] == [9, 10]
+        # canonical form: byte-identical iff the results are equal
+        assert json.dumps(d, sort_keys=True) == \
+            json.dumps(self.sample().as_dict(), sort_keys=True)
+        assert json.dumps(d, sort_keys=True) != \
+            json.dumps(run(250_001, seed=3).as_dict(), sort_keys=True)
