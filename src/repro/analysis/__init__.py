@@ -13,18 +13,26 @@ ordinary tests check only indirectly:
   speed balancer's two-interval migration block and NUMA-domain fence
   are only reproductions of the artifact if they actually hold.
 
-This package provides one layer per property:
+This package provides one layer per property, plus a third that audits
+the artifacts both are judged from:
 
 * :mod:`repro.analysis.lint` -- an AST-based determinism linter
   (``python -m repro.analysis lint src/repro``) with rules SIM001..
-  SIM005, per-line suppression comments and a per-rule allowlist file;
+  SIM006, per-line suppression comments and a per-rule allowlist file;
 * :mod:`repro.analysis.invariants` -- an opt-in runtime
   :class:`~repro.analysis.invariants.InvariantChecker` hooked into
   :class:`~repro.sim.engine.Engine` and :class:`~repro.system.System`
   (``repro check --invariants``), enabled for the whole test suite by
-  a conftest fixture.
+  a conftest fixture;
+* :mod:`repro.analysis.sanitizer` -- a post-hoc schedule sanitizer
+  (``repro sanitize``) that recomputes races, double charges and
+  conservation from the *recorded trace* (rules SAN001..SAN007) and
+  replays the recorded migration history against the speed balancer's
+  policy, with :mod:`repro.analysis.differential` re-running scenarios
+  under perturbations (hash seed, observers, worker processes) and
+  comparing canonical digests (SAN008).
 
-See ``docs/analysis.md`` for the rule catalogue.
+See ``docs/analysis.md`` for the rule catalogues.
 """
 
 from __future__ import annotations
@@ -36,6 +44,15 @@ from repro.analysis.invariants import (
     install_invariant_checker,
 )
 from repro.analysis.lint import Finding, LintRule, lint_paths, lint_source
+from repro.analysis.sanitizer import (
+    SAN_RULES,
+    PullPolicy,
+    SanFinding,
+    analyze_trace,
+    run_digest,
+    sanitize_system,
+    trace_digest,
+)
 
 __all__ = [
     "Finding",
@@ -46,4 +63,11 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "install_invariant_checker",
+    "SAN_RULES",
+    "SanFinding",
+    "PullPolicy",
+    "analyze_trace",
+    "sanitize_system",
+    "trace_digest",
+    "run_digest",
 ]

@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.invariants import INVARIANTS
 from repro.analysis.lint import RULES, main as lint_main
+from repro.analysis.sanitizer import SAN_RULES
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -32,6 +33,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {rule.id}  {rule.summary}")
         print("Runtime invariants (repro.analysis.invariants):")
         for rid, summary in INVARIANTS.items():
+            print(f"  {rid}  {summary}")
+        print("Schedule sanitizer rules (repro.analysis.sanitizer, `repro sanitize`):")
+        for rid, summary in SAN_RULES.items():
             print(f"  {rid}  {summary}")
         return 0
     print(f"repro.analysis: unknown command {command!r} (expected 'lint' or 'rules')",

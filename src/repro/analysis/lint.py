@@ -28,6 +28,12 @@ SIM004   Float arithmetic on engine timestamps: true division applied
          ``Engine.schedule_at``.  Engine time is integer microseconds.
 SIM005   Mutable default argument (``def f(x=[])``): shared mutable
          state across calls is a classic source of run-order coupling.
+SIM006   Unordered filesystem iteration -- ``os.listdir``,
+         ``os.scandir``, ``glob.glob``/``iglob``, ``Path.iterdir``/
+         ``glob``/``rglob`` -- in a *harness or analysis module*
+         without an enclosing ``sorted(...)``.  Directory order is
+         filesystem-dependent, so scenario discovery, result loading
+         and trace analysis would differ between machines.
 ======== =============================================================
 
 Suppression
@@ -71,6 +77,18 @@ __all__ = [
 
 #: directories whose modules make scheduling decisions (SIM001 scope)
 DECISION_DIRS = frozenset({"balance", "sched", "core"})
+
+#: directories whose modules enumerate the filesystem (SIM006 scope):
+#: the harness discovers scenarios/results on disk, the analysis layer
+#: walks sources and traces -- both must see files in a fixed order.
+FS_ORDER_DIRS = frozenset({"harness", "analysis"})
+
+#: filesystem-enumeration callables with platform-dependent order
+#: (SIM006); matched as ``os.listdir``-style attributes, ``.iterdir()``
+#: -style methods and bare names bound by ``from os import listdir``.
+_FS_ITER_FUNCS = frozenset(
+    {"listdir", "scandir", "glob", "iglob", "iterdir", "rglob"}
+)
 
 #: wall-clock functions of the ``time`` module (SIM003)
 _TIME_FUNCS = frozenset(
@@ -118,6 +136,7 @@ RULES: dict[str, LintRule] = {
         LintRule("SIM003", "wall-clock read in simulation code"),
         LintRule("SIM004", "float arithmetic on an engine timestamp"),
         LintRule("SIM005", "mutable default argument"),
+        LintRule("SIM006", "unordered filesystem iteration in a harness/analysis module"),
     )
 }
 
@@ -208,6 +227,10 @@ def _is_decision_module(path: Path) -> bool:
     return bool(DECISION_DIRS.intersection(path.parts[:-1]))
 
 
+def _is_fs_order_module(path: Path) -> bool:
+    return bool(FS_ORDER_DIRS.intersection(path.parts[:-1]))
+
+
 def _call_name(node: ast.Call) -> Optional[str]:
     if isinstance(node.func, ast.Name):
         return node.func.id
@@ -281,11 +304,18 @@ class _Visitor(ast.NodeVisitor):
     def __init__(self, path: Path):
         self.path = path
         self.decision = _is_decision_module(path)
+        self.fs_order = _is_fs_order_module(path)
         self.findings: list[Finding] = []
         self.sets = _SetTracker()
         self._time_alias: set[str] = set()  # names bound to the time module
         self._dt_alias: set[str] = set()  # names bound to datetime/date classes
         self._random_alias: set[str] = set()  # names bound to the random module
+        self._fs_alias: set[str] = set()  # names bound to os/glob-style fs funcs
+        #: call nodes appearing as a direct argument of sorted(...) --
+        #: their arbitrary order is laundered away (SIM006 exempt);
+        #: populated when the enclosing sorted() call is visited, which
+        #: precedes the visit of its children.
+        self._sorted_args: set[int] = set()
 
     # -- helpers -------------------------------------------------------
     def _emit(self, node: ast.AST, rule: str, message: str) -> None:
@@ -359,11 +389,19 @@ class _Visitor(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in ("datetime", "date"):
                     self._dt_alias.add(alias.asname or alias.name)
+        if mod in ("os", "glob"):
+            for alias in node.names:
+                if alias.name in _FS_ITER_FUNCS:
+                    self._fs_alias.add(alias.asname or alias.name)
         self.generic_visit(node)
 
-    # -- calls (SIM002 / SIM003 / SIM004) -------------------------------
+    # -- calls (SIM002 / SIM003 / SIM004 / SIM006) ----------------------
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        if isinstance(func, ast.Name) and func.id == "sorted":
+            for arg in node.args:
+                self._sorted_args.add(id(arg))
+        self._check_fs_iteration(node)
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
             owner, attr = func.value.id, func.attr
             if owner in self._random_alias or owner == "random":
@@ -398,6 +436,26 @@ class _Visitor(ast.NodeVisitor):
                     "integer microseconds (wrap in int()/math.ceil())",
                 )
         self.generic_visit(node)
+
+    def _check_fs_iteration(self, node: ast.Call) -> None:
+        """SIM006: unsorted filesystem enumeration in harness/analysis."""
+        if not self.fs_order or id(node) in self._sorted_args:
+            return
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id not in self._fs_alias:
+                return
+            name = func.id
+        elif isinstance(func, ast.Attribute) and func.attr in _FS_ITER_FUNCS:
+            name = func.attr
+        else:
+            return
+        self._emit(
+            node,
+            "SIM006",
+            f"{name}() yields entries in filesystem-dependent order; wrap "
+            "the call in sorted(...) so discovery is reproducible",
+        )
 
     @staticmethod
     def _schedule_time_arg(node: ast.Call) -> Optional[ast.expr]:
@@ -588,7 +646,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro.analysis lint",
-        description="Determinism linter for the scheduling simulator (SIM001..SIM005)",
+        description="Determinism linter for the scheduling simulator (SIM001..SIM006)",
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"], help="files or directories")
     parser.add_argument(

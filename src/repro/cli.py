@@ -197,6 +197,72 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    """Schedule sanitizer: trace-level race/conservation analysis.
+
+    Runs each scenario smoke with full tracing, feeds the recorded
+    history through :func:`repro.analysis.sanitizer.sanitize_system`
+    and reports findings (SAN001..SAN007).  ``--differential`` adds the
+    determinism legs (SAN008): hash-seed subprocess pairs, observers
+    on/off and serial-vs-parallel workers.  ``--digest`` is the
+    internal child mode those subprocess pairs invoke -- it prints the
+    canonical run digest and nothing else.
+    """
+    import json as _json
+
+    from repro.analysis.sanitizer import run_digest, sanitize_system
+    from repro.harness.scenarios import scenario_smokes
+
+    smokes = scenario_smokes()
+    if args.digest is not None:
+        smoke = smokes.get(args.digest)
+        if smoke is None:
+            print(f"repro: error: unknown scenario {args.digest!r}; "
+                  f"expected one of {sorted(smokes)}", file=sys.stderr)
+            return 2
+        result, system = smoke.run(seed=args.seed)
+        print(run_digest(result, system.trace, system.engine))
+        return 0
+
+    names = args.scenario or sorted(smokes)
+    unknown = [n for n in names if n not in smokes]
+    if unknown:
+        print(f"repro: error: unknown scenario(s) {unknown}; "
+              f"expected from {sorted(smokes)}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for name in names:
+        result, system = smokes[name].run(seed=args.seed)
+        found = sanitize_system(system, result=result, context=name)
+        findings.extend(found)
+        if not args.json:
+            trace = system.trace
+            print(f"{name}: {len(found)} finding(s), "
+                  f"{len(trace.segments)} segments, "
+                  f"{len(trace.migrations)} migration events")
+
+    if args.differential:
+        from repro.analysis.differential import differential_check
+
+        for name in names:
+            diff = differential_check(name, seed=args.seed)
+            findings.extend(diff)
+            if not args.json:
+                print(f"{name}: differential {'ok' if not diff else 'DIVERGED'}")
+
+    if args.json:
+        print(_json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.format())
+        n = len(findings)
+        print(f"sanitize: {'ok' if not n else f'{n} finding(s)'} "
+              f"({len(names)} scenario(s), seed {args.seed}"
+              f"{', differential' if args.differential else ''})")
+    return 1 if findings else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Perf trajectory: run the bench suite, write/compare BENCH_*.json.
 
@@ -302,6 +368,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--repeats", type=int, default=2)
 
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="schedule sanitizer: trace-level race/conservation analysis "
+             "over the scenario suite (+ differential determinism)",
+    )
+    sanitize.add_argument(
+        "--scenario", nargs="+", default=None, metavar="NAME",
+        help="scenario smoke(s) to analyze (default: all; see "
+             "repro.harness.scenarios.scenario_smokes)",
+    )
+    sanitize.add_argument("--seed", type=int, default=0)
+    sanitize.add_argument(
+        "--json", action="store_true",
+        help="emit findings as a JSON array instead of text",
+    )
+    sanitize.add_argument(
+        "--differential", action="store_true",
+        help="also run the differential determinism legs (hash-seed "
+             "subprocess pair, observers on/off, serial vs parallel)",
+    )
+    sanitize.add_argument(
+        "--digest", default=None, metavar="NAME",
+        help="internal: print the canonical run digest of one scenario "
+             "and exit (used by the hash-seed subprocess leg)",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="perf trajectory: run the simulator bench suite, write "
@@ -341,6 +433,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "model": _cmd_model,
         "check": _cmd_check,
+        "sanitize": _cmd_sanitize,
         "bench": _cmd_bench,
     }[args.command]
     try:

@@ -33,6 +33,7 @@ from repro.balance.ule import UleBalancer
 from repro.core.speed_balancer import SpeedBalancer, SpeedBalancerConfig
 from repro.mem.cache_model import CacheModel
 from repro.metrics.results import AppRunResult, RepeatedResult
+from repro.metrics.trace import TraceRecorder
 from repro.sched.cfs import CfsParams
 from repro.system import System
 from repro.topology.machine import Machine
@@ -74,6 +75,7 @@ def run_app(
     return_system: bool = False,
     scheduler: str = "cfs",
     instrument: Optional[Callable[[System], None]] = None,
+    trace: Union[bool, TraceRecorder] = False,
 ):
     """Run one application to completion under one balancer mode.
 
@@ -99,11 +101,17 @@ def run_app(
         Called with the fully assembled :class:`System` just before the
         run starts -- the hook ``repro check --invariants`` uses to
         install a :class:`~repro.analysis.invariants.InvariantChecker`.
+    trace:
+        Record the full execution/migration history into the System's
+        :class:`~repro.metrics.trace.TraceRecorder` (True, or an
+        instance to control the record cap).  Combine with
+        ``return_system`` to analyze the trace post hoc -- this is how
+        ``repro sanitize`` feeds the schedule sanitizer.
     """
     m = machine() if callable(machine) else machine
     system = System(
         m, seed=seed, cfs_params=cfs_params, cache_model=cache_model,
-        scheduler=scheduler,
+        scheduler=scheduler, trace=trace,
     )
     system.set_balancer(make_kernel_balancer(balancer, linux_params))
 

@@ -9,24 +9,27 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.apps.barriers import WaitPolicy
 from repro.apps.multiprogram import CpuHog, MakeWorkload
-from repro.apps.workloads import ep_app, make_nas_app
+from repro.apps.workloads import AppSpec, ep_app, make_nas_app
 from repro.core.speed_balancer import SpeedBalancerConfig
-from repro.harness.experiment import repeat_run
+from repro.harness.experiment import repeat_run, run_app
 from repro.metrics.results import RepeatedResult
 from repro.sched.task import WaitMode
 from repro.topology import presets
 
 __all__ = [
     "WAIT_POLICIES",
+    "ScenarioSmoke",
     "ep_speedup_series",
     "balance_interval_sweep",
     "npb_improvement",
     "cpu_hog_series",
     "make_share_series",
+    "scenario_smokes",
 ]
 
 #: wait-policy shorthand used across scenarios
@@ -245,3 +248,137 @@ def make_share_series(
                 ],
             )
     return out
+
+
+# ----------------------------------------------------------------------
+# smoke registry: one scaled-down run per scenario family
+# ----------------------------------------------------------------------
+def _cpu_hog_corunner(system):
+    """The Figure 5 co-runner (module-level so run specs pickle)."""
+    return CpuHog(system, core=0)
+
+
+def _make_corunner(system):
+    """A small make -j co-runner (module-level so run specs pickle)."""
+    return MakeWorkload(system, j=4, jobs=8)
+
+
+#: co-runner factories addressable by name from a :class:`ScenarioSmoke`
+_CORUNNERS: dict[str, Callable] = {
+    "cpu-hog": _cpu_hog_corunner,
+    "make-j": _make_corunner,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSmoke:
+    """A scaled-down, single-run representative of one scenario family.
+
+    Every scenario function in this module expands into a grid of
+    :func:`repeat_run` calls -- far too much simulation to re-run under
+    full tracing on every CI push.  A ``ScenarioSmoke`` samples one
+    representative configuration from the family at reduced compute
+    demand, as a declarative record the schedule sanitizer
+    (``repro sanitize``) and the differential determinism checker can
+    execute by name, in this process or a fresh subprocess.
+
+    Everything in a smoke is plain data (machine preset name,
+    :class:`~repro.apps.workloads.AppSpec`, co-runner *names* resolved
+    through ``_CORUNNERS``), so a smoke without co-runners can also be
+    fanned out through :mod:`repro.harness.parallel` workers -- the
+    serial-vs-parallel leg of the differential checker relies on that.
+    """
+
+    name: str
+    scenario: str  #: the scenario function this samples (documentation)
+    machine: str
+    app: AppSpec
+    balancer: str = "speed"
+    cores: Optional[int] = None
+    corunners: tuple[str, ...] = ()
+    speed_config: Optional[SpeedBalancerConfig] = field(default=None)
+
+    def run(self, seed: int = 0, instrument=None):
+        """Execute the smoke under full tracing; (result, system)."""
+        return run_app(
+            _machine(self.machine),
+            self.app,
+            balancer=self.balancer,
+            cores=self.cores,
+            seed=seed,
+            corunner_factories=[_CORUNNERS[c] for c in self.corunners],
+            speed_config=self.speed_config,
+            trace=True,
+            return_system=True,
+            instrument=instrument,
+        )
+
+
+def scenario_smokes() -> dict[str, ScenarioSmoke]:
+    """The smoke suite: every scenario family above, sampled once.
+
+    Returned fresh per call (configs are mutable dataclasses); keys are
+    stable names usable from the CLI and from subprocess digest runs.
+    """
+    smokes = [
+        ScenarioSmoke(
+            name="ep-speedup",
+            scenario="ep_speedup_series",
+            machine="tigerton",
+            app=AppSpec(bench="ep.C", n_threads=8, total_compute_us=400_000),
+            balancer="speed",
+            cores=6,
+        ),
+        ScenarioSmoke(
+            name="balance-interval",
+            scenario="balance_interval_sweep",
+            machine="tigerton",
+            app=AppSpec(n_threads=3, total_compute_us=300_000, barrier_period_us=3_400),
+            balancer="speed",
+            cores=2,
+            speed_config=SpeedBalancerConfig(interval_us=50_000),
+        ),
+        ScenarioSmoke(
+            name="npb-speed",
+            scenario="npb_improvement",
+            machine="tigerton",
+            app=AppSpec(bench="bt.A", n_threads=8, total_compute_us=200_000),
+            balancer="speed",
+            cores=6,
+        ),
+        ScenarioSmoke(
+            name="npb-load",
+            scenario="npb_improvement",
+            machine="tigerton",
+            app=AppSpec(bench="cg.B", n_threads=8, total_compute_us=150_000),
+            balancer="load",
+            cores=6,
+        ),
+        ScenarioSmoke(
+            name="npb-numa",
+            scenario="npb_improvement",
+            machine="barcelona",
+            app=AppSpec(bench="sp.A", n_threads=10, total_compute_us=150_000),
+            balancer="speed",
+            cores=8,
+        ),
+        ScenarioSmoke(
+            name="cpu-hog",
+            scenario="cpu_hog_series",
+            machine="tigerton",
+            app=AppSpec(bench="ep.C", n_threads=6, wait="sleep", total_compute_us=300_000),
+            balancer="speed",
+            cores=4,
+            corunners=("cpu-hog",),
+        ),
+        ScenarioSmoke(
+            name="make-share",
+            scenario="make_share_series",
+            machine="tigerton",
+            app=AppSpec(bench="sp.A", n_threads=6, total_compute_us=150_000),
+            balancer="speed",
+            cores=8,
+            corunners=("make-j",),
+        ),
+    ]
+    return {s.name: s for s in smokes}

@@ -8,6 +8,7 @@ more").
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, dataclass, field
 
 from repro.metrics import stats
@@ -87,6 +88,17 @@ class AppRunResult:
         form the serial-vs-parallel determinism tests compare.
         """
         return asdict(self)
+
+    def canonical_json(self) -> str:
+        """The byte-exact serialized form of this result.
+
+        Sorted keys, no whitespace: two results serialize identically
+        iff every measured field is identical.  This is the form the
+        serial-vs-parallel determinism tests compare and the unit the
+        schedule sanitizer's run digests are built from
+        (:func:`repro.analysis.sanitizer.run_digest`).
+        """
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
 
 
 @dataclass

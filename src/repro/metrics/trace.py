@@ -2,17 +2,26 @@
 
 Enable with ``System(..., trace=True)`` (or attach a
 :class:`TraceRecorder` later).  Every charged execution interval is
-recorded as a :class:`Segment`; the analysis helpers answer the
-questions the paper's figures are built from -- per-core utilization,
-per-thread CPU share over time windows (the speed metric itself), and
-an ASCII Gantt chart that makes rotation visible:
+recorded as a :class:`Segment` and every migration as a
+:class:`MigrationEvent`; the analysis helpers answer the questions the
+paper's figures are built from -- per-core utilization, per-thread CPU
+share over time windows (the speed metric itself), and an ASCII Gantt
+chart that makes rotation visible:
 
->>> print(ascii_gantt(system.trace, width=60))   # doctest: +SKIP
+>>> print(ascii_gantt(system.trace, n_cores=2, width=60))   # doctest: +SKIP
 core  0 AAAAAAAAaaaaBBBB....
 core  1 BBBBBBBBBBAAAAAA....
 
 Capital letters mark compute, lowercase synchronization waiting, ``.``
 idle time.
+
+The recorder is bounded: past ``limit`` entries it drops new records
+and counts them in :attr:`TraceRecorder.dropped`.  A truncated trace is
+**not** a representative sample -- everything after the cut-off is
+missing -- so the analysis helpers refuse to compute over one (raising
+:class:`TraceTruncatedError`) unless explicitly told otherwise, and the
+schedule sanitizer (:mod:`repro.analysis.sanitizer`) reports truncation
+as a finding of its own.
 """
 
 from __future__ import annotations
@@ -20,7 +29,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["Segment", "TraceRecorder", "core_utilization", "task_share", "ascii_gantt"]
+__all__ = [
+    "Segment",
+    "MigrationEvent",
+    "TraceRecorder",
+    "TraceTruncatedError",
+    "core_utilization",
+    "task_share",
+    "ascii_gantt",
+]
+
+
+class TraceTruncatedError(ValueError):
+    """An analysis was asked to treat a truncated trace as complete.
+
+    Raised by :func:`core_utilization` / :func:`task_share` /
+    :func:`ascii_gantt` when the recorder dropped records
+    (``trace.dropped > 0``): utilization and share values computed from
+    a prefix of the run would silently read as if cores went idle and
+    tasks stopped at the cut-off.  Pass ``allow_truncated=True`` to
+    compute over the recorded prefix anyway.
+    """
 
 
 @dataclass(frozen=True)
@@ -40,13 +69,36 @@ class Segment:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One recorded migration (the trace-level mirror of
+    :class:`~repro.system.MigrationRecord`, kept independent so the
+    trace module has no dependency on the system layer)."""
+
+    time: int
+    tid: int
+    task_name: str
+    src: Optional[int]
+    dst: int
+    forced: bool
+    reason: str
+
+
 class TraceRecorder:
-    """Collects execution segments (bounded; oldest dropped beyond cap)."""
+    """Collects execution segments and migration events (bounded).
+
+    Past ``limit`` records of either kind, new entries are dropped and
+    counted in :attr:`dropped` / :attr:`migrations_dropped`; a recorder
+    with either counter non-zero is :attr:`truncated` and the analysis
+    helpers in this module refuse to treat it as a complete history.
+    """
 
     def __init__(self, limit: int = 2_000_000):
         self.segments: list[Segment] = []
+        self.migrations: list[MigrationEvent] = []
         self.limit = limit
         self.dropped = 0
+        self.migrations_dropped = 0
 
     def record(self, tid: int, name: str, core: int, start: int, end: int, kind: str) -> None:
         if end <= start:
@@ -55,6 +107,28 @@ class TraceRecorder:
             self.dropped += 1
             return
         self.segments.append(Segment(tid, name, core, start, end, kind))
+
+    def record_migration(
+        self,
+        time: int,
+        tid: int,
+        task_name: str,
+        src: Optional[int],
+        dst: int,
+        forced: bool,
+        reason: str,
+    ) -> None:
+        if len(self.migrations) >= self.limit:
+            self.migrations_dropped += 1
+            return
+        self.migrations.append(
+            MigrationEvent(time, tid, task_name, src, dst, forced, reason)
+        )
+
+    @property
+    def truncated(self) -> bool:
+        """True when any record was dropped beyond the cap."""
+        return self.dropped > 0 or self.migrations_dropped > 0
 
     @property
     def span(self) -> tuple[int, int]:
@@ -67,13 +141,31 @@ class TraceRecorder:
         )
 
 
+def _require_complete(trace: TraceRecorder, allow_truncated: bool, what: str) -> None:
+    if allow_truncated or not trace.truncated:
+        return
+    raise TraceTruncatedError(
+        f"{what} over a truncated trace ({trace.dropped} segments and "
+        f"{trace.migrations_dropped} migrations dropped beyond the "
+        f"{trace.limit}-record limit); the result would silently exclude "
+        "everything after the cut-off.  Raise the recorder limit, or pass "
+        "allow_truncated=True to compute over the recorded prefix."
+    )
+
+
 def core_utilization(
     trace: TraceRecorder,
     n_cores: int,
     start: Optional[int] = None,
     end: Optional[int] = None,
+    allow_truncated: bool = False,
 ) -> list[float]:
-    """Busy fraction per core over [start, end)."""
+    """Busy fraction per core over [start, end).
+
+    Raises :class:`TraceTruncatedError` on a truncated trace unless
+    ``allow_truncated`` is set (dropped segments would read as idle).
+    """
+    _require_complete(trace, allow_truncated, "core_utilization")
     t0, t1 = trace.span
     start = t0 if start is None else start
     end = t1 if end is None else end
@@ -93,8 +185,14 @@ def task_share(
     start: int,
     end: int,
     kind: Optional[str] = None,
+    allow_truncated: bool = False,
 ) -> float:
-    """CPU share of one task over a window -- the speed metric, post hoc."""
+    """CPU share of one task over a window -- the speed metric, post hoc.
+
+    Raises :class:`TraceTruncatedError` on a truncated trace unless
+    ``allow_truncated`` is set (dropped segments would deflate the share).
+    """
+    _require_complete(trace, allow_truncated, "task_share")
     if end <= start:
         raise ValueError("empty window")
     got = 0
@@ -115,12 +213,16 @@ def ascii_gantt(
     width: int = 80,
     start: Optional[int] = None,
     end: Optional[int] = None,
+    allow_truncated: bool = False,
 ) -> str:
     """Render per-core timelines; letters identify tasks (A..Z cycling).
 
     Capitals = compute, lowercase = synchronization wait, ``.`` = idle.
     When several segments land in one character cell, the longest wins.
+    Raises :class:`TraceTruncatedError` on a truncated trace unless
+    ``allow_truncated`` is set (the chart would render phantom idle time).
     """
+    _require_complete(trace, allow_truncated, "ascii_gantt")
     t0, t1 = trace.span
     start = t0 if start is None else start
     end = t1 if end is None else end

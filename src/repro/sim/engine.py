@@ -298,6 +298,24 @@ class Engine:
         """Total number of events dispatched so far."""
         return self._dispatched
 
+    def fingerprint(self) -> dict[str, int]:
+        """Canonical end-of-run engine state, for determinism checks.
+
+        Two runs of the same scenario that made identical scheduling
+        decisions end with the same clock, the same number of dispatched
+        events and the same number of scheduled events; any divergence
+        anywhere in a run perturbs at least one of the three.  The
+        schedule sanitizer's differential determinism checker folds this
+        dict into its canonical run digest, so the engine itself --
+        not just the recorded trace -- is part of the bit-identical
+        claim.
+        """
+        return {
+            "now": self.now,
+            "dispatched": self._dispatched,
+            "scheduled": self._seq,
+        }
+
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the queue is empty."""
         heap = self._heap

@@ -25,7 +25,7 @@ The system itself has no balancing policy; it only provides mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.mem.cache_model import CacheModel
 from repro.metrics.trace import TraceRecorder
@@ -75,10 +75,13 @@ class System:
         Keep at most this many :class:`MigrationRecord` entries
         (counters are always exact).
     trace:
-        Record every execution interval into a
+        Record every execution interval and migration into a
         :class:`~repro.metrics.trace.TraceRecorder` (post-hoc speed
-        computation, core utilization, ASCII Gantt charts).  Off by
-        default: tracing costs memory proportional to context switches.
+        computation, core utilization, ASCII Gantt charts, and the
+        schedule sanitizer's race/conservation analysis).  Pass True
+        for a default recorder or a :class:`TraceRecorder` instance to
+        control the record limit.  Off by default: tracing costs memory
+        proportional to context switches.
     scheduler:
         Per-core scheduling policy: ``"cfs"`` (Linux >= 2.6.23, the
         default) or ``"o1"`` (the pre-CFS fixed-quantum round robin of
@@ -93,7 +96,7 @@ class System:
         cache_model: Optional[CacheModel] = None,
         yield_check_us: int = 20,
         migration_log_limit: int = 100_000,
-        trace: bool = False,
+        trace: Union[bool, TraceRecorder] = False,
         scheduler: str = "cfs",
     ):
         self.machine = machine
@@ -108,7 +111,10 @@ class System:
         self.cache_model = cache_model or CacheModel()
         self.yield_check_us = yield_check_us
         #: optional execution trace (see repro.metrics.trace)
-        self.trace: Optional[TraceRecorder] = TraceRecorder() if trace else None
+        if isinstance(trace, TraceRecorder):
+            self.trace: Optional[TraceRecorder] = trace
+        else:
+            self.trace = TraceRecorder() if trace else None
         self.cores: list[CoreSim] = [CoreSim(self, hw) for hw in machine.cores]
         self.tasks: list[Task] = []
         self.kernel_balancer = None  # set by set_balancer
@@ -313,6 +319,11 @@ class System:
         )
         if len(self.migration_log) < self._migration_log_limit:
             self.migration_log.append(record)
+        if self.trace is not None:
+            self.trace.record_migration(
+                record.time, record.tid, record.task_name,
+                record.src, record.dst, record.forced, record.reason,
+            )
         for observer in self.migration_observers:
             observer(task, record)
 

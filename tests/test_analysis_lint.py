@@ -221,7 +221,9 @@ class TestRepoIsClean:
         assert findings == [], "\n".join(f.format() for f in findings)
 
     def test_rule_catalogue_complete(self):
-        assert sorted(RULES) == ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005"]
+        assert sorted(RULES) == [
+            "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+        ]
 
 
 class TestCli:
@@ -279,3 +281,59 @@ class TestMutationCatches:
         )
         findings = lint_source(mutated, Path("src/repro/core/speed_balancer.py"))
         assert any(f.rule == "SIM004" for f in findings)
+
+
+class TestSim006FsIteration:
+    """Unordered filesystem enumeration in harness/analysis modules."""
+
+    HARNESS = Path("src/repro/harness/fake.py")
+
+    def test_os_listdir(self):
+        src = "import os\nnames = os.listdir('runs')\n"
+        assert rule_ids(src, self.HARNESS) == ["SIM006"]
+
+    def test_glob_module(self):
+        src = "import glob\nhits = glob.glob('*.json')\n"
+        assert rule_ids(src, self.HARNESS) == ["SIM006"]
+
+    def test_path_iterdir_and_rglob(self):
+        src = """\
+        from pathlib import Path
+        for p in Path('.').iterdir():
+            pass
+        files = list(Path('.').rglob('*.py'))
+        """
+        assert rule_ids(src, self.HARNESS) == ["SIM006", "SIM006"]
+
+    def test_from_import_alias(self):
+        src = "from os import listdir as ls\nnames = ls('runs')\n"
+        assert rule_ids(src, self.HARNESS) == ["SIM006"]
+
+    def test_sorted_wrapper_is_exempt(self):
+        src = """\
+        import os, glob
+        from pathlib import Path
+        a = sorted(os.listdir('runs'))
+        b = sorted(glob.glob('*.json'))
+        c = sorted(Path('.').rglob('*.py'))
+        """
+        assert rule_ids(src, self.HARNESS) == []
+
+    def test_out_of_scope_module_is_exempt(self):
+        src = "import os\nnames = os.listdir('runs')\n"
+        assert rule_ids(src, Path("src/repro/sim/fake.py")) == []
+
+    def test_analysis_dir_in_scope(self):
+        src = "import os\nnames = os.listdir('runs')\n"
+        assert rule_ids(src, Path("src/repro/analysis/fake.py")) == ["SIM006"]
+
+    def test_suppression_comment(self):
+        src = (
+            "import os\n"
+            "names = os.listdir('runs')  # sim-lint: ignore[SIM006]\n"
+        )
+        assert rule_ids(src, self.HARNESS) == []
+
+    def test_unrelated_name_not_flagged(self):
+        src = "names = listdir('runs')\n"  # not imported from os
+        assert rule_ids(src, self.HARNESS) == []

@@ -7,6 +7,7 @@ from repro.apps.workloads import ep_app
 from repro.balance.pinned import PinnedBalancer
 from repro.metrics.trace import (
     TraceRecorder,
+    TraceTruncatedError,
     ascii_gantt,
     core_utilization,
     task_share,
@@ -124,3 +125,72 @@ class TestGantt:
         out = ascii_gantt(tr, 2, width=10, start=0, end=100)
         core1 = out.splitlines()[1]
         assert core1.endswith("." * 10)
+
+
+class TestTruncationGuards:
+    """A truncated trace must refuse to masquerade as a complete one."""
+
+    def overflowed(self):
+        tr = TraceRecorder(limit=1)
+        tr.record(1, "a", 0, 0, 100, "run")
+        tr.record(2, "b", 1, 0, 100, "run")
+        assert tr.truncated
+        return tr
+
+    def test_core_utilization_raises(self):
+        with pytest.raises(TraceTruncatedError, match="core_utilization"):
+            core_utilization(self.overflowed(), n_cores=2)
+
+    def test_task_share_raises(self):
+        with pytest.raises(TraceTruncatedError, match="task_share"):
+            task_share(self.overflowed(), tid=1, start=0, end=100)
+
+    def test_ascii_gantt_raises(self):
+        with pytest.raises(TraceTruncatedError, match="ascii_gantt"):
+            ascii_gantt(self.overflowed(), n_cores=2)
+
+    def test_allow_truncated_opt_in(self):
+        tr = self.overflowed()
+        assert core_utilization(tr, n_cores=2, allow_truncated=True)[0] == 1.0
+        assert task_share(tr, tid=1, start=0, end=100, allow_truncated=True) == 1.0
+        assert "core  0" in ascii_gantt(tr, n_cores=2, allow_truncated=True)
+
+    def test_migration_overflow_also_counts(self):
+        tr = TraceRecorder(limit=1)
+        tr.record_migration(0, 1, "a", None, 0, False, "speed.initial")
+        tr.record_migration(1, 2, "b", None, 1, False, "speed.initial")
+        assert tr.migrations_dropped == 1 and tr.truncated
+        with pytest.raises(TraceTruncatedError):
+            core_utilization(tr, n_cores=2)
+
+    def test_complete_trace_unaffected(self):
+        tr = TraceRecorder()
+        tr.record(1, "a", 0, 0, 100, "run")
+        assert not tr.truncated
+        assert core_utilization(tr, n_cores=1) == [1.0]
+
+
+class TestMigrationEvents:
+    def test_recorded_through_system(self):
+        from repro.harness.experiment import run_app
+
+        result, system = run_app(
+            presets.uniform(2),
+            lambda s: ep_app(s, n_threads=3, total_compute_us=60_000),
+            balancer="speed",
+            cores=2,
+            trace=True,
+            return_system=True,
+        )
+        assert system.trace.migrations  # speed.initial placements at least
+        ev = system.trace.migrations[0]
+        assert ev.dst is not None and ev.task_name
+        assert all(
+            e.time <= n.time
+            for e, n in zip(system.trace.migrations, system.trace.migrations[1:])
+        )
+
+    def test_recorder_instance_passthrough(self):
+        tr = TraceRecorder(limit=10_000)
+        system = System(presets.uniform(2), seed=0, trace=tr)
+        assert system.trace is tr
