@@ -81,7 +81,7 @@ DECISION_DIRS = frozenset({"balance", "sched", "core"})
 #: directories whose modules enumerate the filesystem (SIM006 scope):
 #: the harness discovers scenarios/results on disk, the analysis layer
 #: walks sources and traces -- both must see files in a fixed order.
-FS_ORDER_DIRS = frozenset({"harness", "analysis"})
+FS_ORDER_DIRS = frozenset({"harness", "analysis", "store", "service"})
 
 #: filesystem-enumeration callables with platform-dependent order
 #: (SIM006); matched as ``os.listdir``-style attributes, ``.iterdir()``

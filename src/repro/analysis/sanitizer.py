@@ -73,6 +73,7 @@ from repro.topology.machine import DomainLevel, Machine
 if TYPE_CHECKING:  # pragma: no cover
     from repro.metrics.results import AppRunResult
     from repro.sim.engine import Engine
+    from repro.store import ResultStore
     from repro.system import System
 
 __all__ = [
@@ -85,6 +86,7 @@ __all__ = [
     "check_truncation",
     "analyze_trace",
     "sanitize_system",
+    "sanitize_stored",
     "trace_digest",
     "run_digest",
 ]
@@ -501,6 +503,36 @@ def sanitize_system(
         findings += out.findings
         findings.sort(key=lambda f: f.code)
     return findings
+
+
+def sanitize_stored(
+    store: "ResultStore",
+    digest: str,
+    context: str = "",
+) -> list[SanFinding]:
+    """Sanitize a trace archived in a content-addressed store.
+
+    Loads the (integrity-checked) trace stored under ``digest`` by
+    ``repro submit --trace`` / ``JobService.submit(trace=True)`` and
+    runs every check that needs only the recorded history itself
+    (truncation, migration races, double charges).  The live-System
+    cross-checks of :func:`sanitize_system` need accounting state that
+    is not archived; use that entry point for fresh runs.
+
+    Raises ``ValueError`` when the digest is absent or was stored
+    without a trace; store-level corruption surfaces as the store's own
+    ``StoreIntegrityError``.
+    """
+    entry = store.get(digest)
+    if entry is None:
+        raise ValueError(f"no store entry for digest {digest!r}")
+    if not entry.has_trace:
+        raise ValueError(
+            f"entry {digest!r} was stored without a trace; re-run it with "
+            "trace=True (repro submit --trace) to archive one"
+        )
+    trace = store.load_trace(digest)
+    return analyze_trace(trace, context=context or f"stored:{digest[:12]}")
 
 
 # ----------------------------------------------------------------------

@@ -213,6 +213,9 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     from repro.analysis.sanitizer import run_digest, sanitize_system
     from repro.harness.scenarios import scenario_smokes
 
+    if args.stored is not None:
+        return _sanitize_stored(args)
+
     smokes = scenario_smokes()
     if args.digest is not None:
         smoke = smokes.get(args.digest)
@@ -263,6 +266,45 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _sanitize_stored(args: argparse.Namespace) -> int:
+    """``repro sanitize --store DIR --stored [DIGEST...]``.
+
+    Analyzes traces archived by ``repro submit --trace`` instead of
+    re-running scenarios; an empty digest list means every traced
+    entry in the store.
+    """
+    import json as _json
+
+    from repro.analysis.sanitizer import sanitize_stored
+    from repro.store import ResultStore
+
+    store = ResultStore(args.store)
+    if args.stored:
+        digests = [_resolve_digest(store, d) for d in args.stored]
+    else:
+        digests = [e["digest"] for e in store.entries() if e.get("has_trace")]
+        if not digests:
+            print(f"repro: error: no traced entries in {args.store}; "
+                  "archive some with repro submit --trace", file=sys.stderr)
+            return 2
+
+    findings = []
+    for digest in digests:
+        found = sanitize_stored(store, digest)
+        findings.extend(found)
+        if not args.json:
+            print(f"{digest[:12]}: {len(found)} finding(s)")
+    if args.json:
+        print(_json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.format())
+        n = len(findings)
+        print(f"sanitize: {'ok' if not n else f'{n} finding(s)'} "
+              f"({len(digests)} stored trace(s) in {args.store})")
+    return 1 if findings else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Perf trajectory: run the bench suite, write/compare BENCH_*.json.
 
@@ -308,6 +350,199 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"repro bench: {len(regressed)} regression(s): {names}",
               file=sys.stderr)
         return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# content-addressed store + job service (repro.store / repro.service)
+# ----------------------------------------------------------------------
+def _resolve_digest(store, prefix: str) -> str:
+    """A full digest from a (possibly abbreviated) hex prefix."""
+    if not prefix or any(c not in "0123456789abcdef" for c in prefix):
+        raise ValueError(f"invalid digest prefix {prefix!r} (lowercase hex)")
+    matches = [d for d in store.digests() if d.startswith(prefix)]
+    if not matches:
+        raise ValueError(f"no store entry matches digest prefix {prefix!r}")
+    if len(matches) > 1:
+        raise ValueError(
+            f"digest prefix {prefix!r} is ambiguous "
+            f"({len(matches)} matches); give more characters"
+        )
+    return matches[0]
+
+
+def _submit_specs(args: argparse.Namespace) -> list:
+    """The RunSpec batch behind one ``repro submit`` invocation."""
+    from repro.harness.parallel import RunSpec
+
+    total_us = int(args.seconds * 1_000_000)
+    app = AppSpec(
+        bench=args.bench, n_threads=args.threads, wait=args.wait,
+        total_compute_us=total_us,
+    )
+    return [
+        RunSpec.make(
+            args.machine, app, balancer=mode, cores=args.cores, seed=seed,
+        )
+        for mode in args.balancer
+        for seed in range(args.repeats)
+    ]
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Run a batch through the job service: only cache misses simulate.
+
+    The second identical invocation serves everything from the store
+    (``--expect-cached`` turns that into an assertion, exit 1 if any
+    simulation ran -- the CI store-smoke leg).
+    """
+    import json as _json
+
+    from repro.metrics import export
+    from repro.service import JobFailedError, JobService
+    from repro.store import ResultStore, spec_digest
+
+    specs = _submit_specs(args)
+    store = ResultStore(args.store)
+
+    def on_status(st) -> None:
+        line = f"  {st.digest[:12]} {st.state}"
+        if st.attempts > 1:
+            line += f" (attempt {st.attempts})"
+        if st.error:
+            line += f": {st.error}"
+        print(line)
+
+    service = JobService(store, on_status=None if args.json else on_status)
+    try:
+        results = service.submit(specs, workers=args.workers, trace=args.trace)
+    except JobFailedError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 1
+
+    digests = [spec_digest(s) for s in specs]
+    cached = sum(
+        1 for st in service.statuses().values() if st.state == "cached"
+    )
+    if args.json:
+        print(_json.dumps(
+            [
+                {"digest": d, "result": export.result_to_dict(r)}
+                for d, r in zip(digests, results)
+            ],
+            indent=2, sort_keys=True,
+        ))
+    else:
+        rows = [
+            [d[:12], s.balancer, s.seed, r.speedup, r.elapsed_us / 1e6]
+            for d, s, r in zip(digests, specs, results)
+        ]
+        print(report.table(
+            ["digest", "balancer", "seed", "speedup", "time (s)"], rows,
+            title=(
+                f"{args.bench}, {args.threads} threads on {args.cores} "
+                f"{args.machine} cores -> {args.store}"
+            ),
+        ))
+        print(
+            f"{len(specs)} job(s): {len(set(digests))} unique, "
+            f"{cached} cached, {service.executed} executed"
+            f"{', traces archived' if args.trace else ''}"
+        )
+    if args.expect_cached and service.executed:
+        print(
+            f"repro submit: expected a fully cached batch but "
+            f"{service.executed} job(s) had to run",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """List store entries (all of them, or the given digest prefixes)."""
+    from repro.store import ResultStore
+
+    store = ResultStore(args.store)
+    entries = store.entries()
+    if args.digest:
+        wanted = {_resolve_digest(store, d) for d in args.digest}
+        entries = [e for e in entries if e["digest"] in wanted]
+    rows = [
+        [
+            e["digest"][:12],
+            e["seq"],
+            e["kind"],
+            e.get("app") or "-",
+            e.get("balancer") or "-",
+            "-" if e.get("seed") is None else e["seed"],
+            "yes" if e.get("has_trace") else "no",
+        ]
+        for e in entries
+    ]
+    print(report.table(
+        ["digest", "seq", "kind", "app", "balancer", "seed", "trace"],
+        rows,
+        title=f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'} "
+              f"in {args.store}",
+    ))
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    """Print the stored result behind one digest."""
+    import json as _json
+
+    from repro.metrics import export
+    from repro.store import ResultStore
+
+    store = ResultStore(args.store)
+    digest = _resolve_digest(store, args.digest)
+    entry = store.get(digest)
+    assert entry is not None  # _resolve_digest only returns real entries
+    if entry.kind != "run":
+        print(_json.dumps(entry.value, indent=2, sort_keys=True))
+        return 0
+    payload = export.result_to_dict(entry.result)
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    pairs = dict(payload)
+    pairs.pop("type", None)
+    print(report.kv_block(f"{digest[:12]} ({digest})", pairs))
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Store maintenance: ``repro store gc | verify | stats``."""
+    from repro.store import ResultStore
+
+    store = ResultStore(args.store)
+    if args.store_command == "stats":
+        s = store.stats()
+        print(report.kv_block(f"store {s.root}", {
+            "entries": s.entries,
+            "traced": s.traced,
+            "total bytes": s.total_bytes,
+            "next seq": s.next_seq,
+        }))
+        return 0
+    if args.store_command == "verify":
+        findings = store.verify()
+        for f in findings:
+            print(f)
+        print(f"verify: {'clean' if not findings else f'{len(findings)} finding(s)'} "
+              f"({store.root})")
+        return 1 if findings else 0
+    # gc
+    rep = store.gc(max_entries=args.max_entries, max_bytes=args.max_bytes)
+    for f in rep.findings:
+        print(f)
+    print(
+        f"gc: kept {rep.kept}, removed {rep.removed_corrupt} corrupt, "
+        f"evicted {rep.removed_evicted}, adopted {rep.adopted}, "
+        f"freed {rep.bytes_freed} bytes"
+    )
     return 0
 
 
@@ -393,6 +628,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="internal: print the canonical run digest of one scenario "
              "and exit (used by the hash-seed subprocess leg)",
     )
+    sanitize.add_argument(
+        "--stored", nargs="*", default=None, metavar="DIGEST",
+        help="analyze traces archived in the content-addressed store "
+             "instead of re-running scenarios (no digests = every traced "
+             "entry; see repro submit --trace)",
+    )
+    sanitize.add_argument(
+        "--store", default=".repro-store",
+        help="store directory for --stored (default: .repro-store)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -422,6 +667,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing rounds per bench, best-of (default: 3)",
     )
 
+    submit = sub.add_parser(
+        "submit",
+        help="run a batch through the content-addressed store: cache "
+             "misses simulate once, everything else is served from disk",
+    )
+    submit.add_argument("--store", default=".repro-store",
+                        help="store directory (default: .repro-store)")
+    submit.add_argument("--bench", default="ep.C", choices=sorted(FULL_CATALOG))
+    submit.add_argument("--machine", default="tigerton", choices=sorted(MACHINES))
+    submit.add_argument("--threads", type=int, default=16)
+    submit.add_argument("--cores", type=int, default=12)
+    submit.add_argument("--wait", default="yield", choices=sorted(WAITS))
+    submit.add_argument("--seconds", type=float, default=1.0,
+                        help="per-thread compute demand in simulated seconds")
+    submit.add_argument("--repeats", type=int, default=3)
+    submit.add_argument(
+        "--balancer", nargs="+", default=["speed", "load"],
+        choices=BALANCER_MODES,
+    )
+    submit.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the cache misses",
+    )
+    submit.add_argument(
+        "--trace", action="store_true",
+        help="also archive each fresh run's full trace (feeds "
+             "repro sanitize --stored)",
+    )
+    submit.add_argument(
+        "--expect-cached", action="store_true",
+        help="assert the whole batch is already cached; exit 1 if any "
+             "simulation had to run (the CI store-smoke invariant)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="emit [{digest, result}] as JSON instead of a table",
+    )
+
+    status = sub.add_parser(
+        "status", help="list the entries of a content-addressed store",
+    )
+    status.add_argument("digest", nargs="*", default=[],
+                        help="only these digests (prefixes allowed)")
+    status.add_argument("--store", default=".repro-store",
+                        help="store directory (default: .repro-store)")
+
+    fetch = sub.add_parser(
+        "fetch", help="print the stored result behind one digest",
+    )
+    fetch.add_argument("digest", help="entry digest (prefix allowed)")
+    fetch.add_argument("--store", default=".repro-store",
+                       help="store directory (default: .repro-store)")
+    fetch.add_argument("--json", action="store_true",
+                       help="emit the result dict as JSON")
+
+    store_p = sub.add_parser(
+        "store", help="store maintenance: gc, verify, stats",
+    )
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    store_gc = store_sub.add_parser(
+        "gc",
+        help="drop corrupt objects, rebuild the index, evict oldest-first "
+             "down to the caps",
+    )
+    store_gc.add_argument("--max-entries", type=int, default=None,
+                          help="keep at most this many entries")
+    store_gc.add_argument("--max-bytes", type=int, default=None,
+                          help="keep at most this many object bytes")
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="full read-only integrity pass over every object (exit 1 on "
+             "findings)",
+    )
+    store_stats = store_sub.add_parser("stats", help="entry/trace/byte counts")
+    for p in (store_gc, store_verify, store_stats):
+        p.add_argument("--store", default=".repro-store",
+                       help="store directory (default: .repro-store)")
+
     return parser
 
 
@@ -435,6 +758,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "check": _cmd_check,
         "sanitize": _cmd_sanitize,
         "bench": _cmd_bench,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "fetch": _cmd_fetch,
+        "store": _cmd_store,
     }[args.command]
     try:
         return handler(args)

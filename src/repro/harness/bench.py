@@ -26,6 +26,7 @@ decisions.
 from __future__ import annotations
 
 import json
+import re
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -169,6 +170,11 @@ def run_benches(
 # payloads: BENCH_<label>.json
 # ----------------------------------------------------------------------
 def to_payload(results: list[BenchResult], label: str, quick: bool) -> dict:
+    if not re.fullmatch(r"[A-Za-z0-9_-]+", label):
+        raise ValueError(
+            f"invalid bench label {label!r}: labels become the "
+            "BENCH_<label>.json filename, so only [A-Za-z0-9_-]+ is allowed"
+        )
     return {
         "schema": BENCH_SCHEMA,
         "label": label,

@@ -179,6 +179,7 @@ def repeat_run(
     cores: Optional[Union[int, Sequence[int]]] = None,
     seeds: Iterable[int] = range(10),
     workers: Optional[int] = 1,
+    store=None,
     **kwargs,
 ) -> RepeatedResult:
     """The paper's methodology: "repeated ten times or more".
@@ -196,7 +197,31 @@ def repeat_run(
     the machine, ``app_factory`` and every extra keyword argument must
     pickle (preset names, :class:`~repro.apps.workloads.AppSpec` and
     module-level functions do; closures do not).
+
+    ``store`` (a directory path, :class:`~repro.store.ResultStore` or
+    :class:`~repro.service.JobService`) makes the repeat *incremental*:
+    each seed's configuration is resolved against the content-addressed
+    store first and only the misses simulate; fresh results are filed
+    back.  Cached results are byte-identical to fresh ones.  The same
+    picklability rules apply, plus the configuration must be
+    *storable* (see :mod:`repro.store.keys`) -- closures raise
+    :class:`~repro.store.UnstorableSpecError` before anything runs.
     """
+    if store is not None:
+        # imported here: the service builds on this module, not vice versa
+        from repro.harness.parallel import RunSpec
+        from repro.service import run_specs_cached
+
+        specs = [
+            RunSpec.make(
+                machine, app_factory, balancer=balancer, cores=cores,
+                seed=s, **kwargs,
+            )
+            for s in seeds
+        ]
+        return RepeatedResult(
+            runs=run_specs_cached(specs, store, workers=workers)
+        )
     if workers == 1:
         runs = [
             run_app(

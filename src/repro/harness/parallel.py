@@ -159,11 +159,26 @@ def _fan_out(
     submit_args: Sequence[tuple],
     fn: Callable,
     workers: int,
+    return_exceptions: bool = False,
 ) -> list:
-    """Run ``fn(*args)`` for each args tuple; results in submission order."""
+    """Run ``fn(*args)`` for each args tuple; results in submission order.
+
+    With ``return_exceptions`` a failed job yields its exception object
+    in place of a result instead of aborting the whole batch -- the
+    hook :class:`repro.service.JobService` uses to retry individual
+    worker crashes without losing the rest of a fan-out.
+    """
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(fn, *args) for args in submit_args]
-        return [f.result() for f in futures]
+        if not return_exceptions:
+            return [f.result() for f in futures]
+        out: list = []
+        for f in futures:
+            try:
+                out.append(f.result())
+            except Exception as exc:  # noqa: BLE001 - reported per job
+                out.append(exc)
+        return out
 
 
 def _normalize_workers(workers: Optional[int]) -> int:
@@ -180,6 +195,7 @@ def map_specs(
     specs: Iterable[RunSpec],
     workers: Optional[int] = 1,
     progress: Optional[Callable[[RunSpec, AppRunResult], None]] = None,
+    return_exceptions: bool = False,
 ) -> list[AppRunResult]:
     """Run every spec; return results in input order.
 
@@ -187,23 +203,39 @@ def map_specs(
     code path a direct ``run_app`` loop takes.  ``workers=None`` uses
     one worker per CPU.  With workers, ``progress`` is still invoked in
     deterministic input order, after all results are in.
+
+    With ``return_exceptions`` a failed spec contributes its exception
+    object (including :class:`concurrent.futures.process
+    .BrokenProcessPool` for a crashed worker) instead of raising, so a
+    caller can retry just the failed subset; ``progress`` is skipped
+    for failed specs.
     """
     specs = list(specs)
     workers = _normalize_workers(workers)
     if workers == 1 or len(specs) <= 1:
         results = []
         for spec in specs:
-            result = run_spec(spec)
+            try:
+                result = run_spec(spec)
+            except Exception as exc:  # noqa: BLE001 - reported per job
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+                continue
             results.append(result)
             if progress is not None:
                 progress(spec, result)
         return results
     for i, spec in enumerate(specs):
         _require_picklable(spec, f"RunSpec #{i} ({spec.balancer}, seed={spec.seed})")
-    results = _fan_out([(spec,) for spec in specs], run_spec, workers)
+    results = _fan_out(
+        [(spec,) for spec in specs], run_spec, workers,
+        return_exceptions=return_exceptions,
+    )
     if progress is not None:
         for spec, result in zip(specs, results):
-            progress(spec, result)
+            if not isinstance(result, Exception):
+                progress(spec, result)
     return results
 
 

@@ -14,7 +14,7 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from repro.apps.barriers import WaitPolicy
 from repro.apps.multiprogram import CpuHog, MakeWorkload
-from repro.apps.workloads import AppSpec, ep_app, make_nas_app
+from repro.apps.workloads import WAIT_MODES, AppSpec, ep_app, make_nas_app
 from repro.core.speed_balancer import SpeedBalancerConfig
 from repro.harness.experiment import repeat_run, run_app
 from repro.metrics.results import RepeatedResult
@@ -23,6 +23,7 @@ from repro.topology import presets
 
 __all__ = [
     "WAIT_POLICIES",
+    "CorunnerSpec",
     "ScenarioSmoke",
     "ep_speedup_series",
     "balance_interval_sweep",
@@ -50,6 +51,81 @@ def _machine(name: str):
     }[name]
 
 
+@dataclass(frozen=True)
+class CorunnerSpec:
+    """Declarative, picklable co-runner description.
+
+    The co-runner analogue of :class:`~repro.apps.workloads.AppSpec`:
+    callable with a :class:`~repro.system.System` (the
+    ``corunner_factories`` protocol of :func:`run_app`), but a frozen
+    dataclass of plain values, so scenario configurations that share
+    the machine with a cpu-hog or ``make -j`` can cross process
+    boundaries and key content-addressed store entries.
+    """
+
+    kind: str  #: "cpu-hog" | "make-j"
+    core: int = 0  #: pin core of the cpu-hog
+    j: int = 16  #: parallelism of the make workload
+    jobs: Optional[int] = None  #: total make jobs (default 4*j)
+
+    def build(self, system):
+        if self.kind == "cpu-hog":
+            return CpuHog(system, core=self.core)
+        if self.kind == "make-j":
+            jobs = self.jobs if self.jobs is not None else 4 * self.j
+            return MakeWorkload(system, j=self.j, jobs=jobs)
+        raise ValueError(
+            f"unknown co-runner kind {self.kind!r}; expected 'cpu-hog' or 'make-j'"
+        )
+
+    __call__ = build
+
+
+def _app_factory(
+    wait: str,
+    n_threads: int,
+    total_compute_us: int,
+    bench: str = "ep.C",
+    barrier_period_us: Optional[int] = None,
+):
+    """An :class:`AppSpec` when the wait policy is expressible as one
+    (storable + picklable), else an equivalent closure.
+
+    The two build byte-identical applications for the plain wait modes
+    (``AppSpec.build`` constructs the same ``WaitPolicy``/app); the
+    closure fallback covers the OMP-style policies (``omp-default``,
+    ``omp-infinite``) that carry extra spin parameters -- those run
+    fine serially but cannot key a store entry.
+    """
+    if wait in WAIT_MODES:
+        return AppSpec(
+            bench=bench,
+            n_threads=n_threads,
+            wait=wait,
+            total_compute_us=total_compute_us,
+            barrier_period_us=barrier_period_us,
+        )
+
+    def factory(system):
+        if barrier_period_us is not None:
+            return ep_app(
+                system,
+                n_threads=n_threads,
+                wait_policy=WAIT_POLICIES[wait],
+                total_compute_us=total_compute_us,
+                barrier_period_us=barrier_period_us,
+            )
+        return make_nas_app(
+            system,
+            bench,
+            n_threads=n_threads,
+            wait_policy=WAIT_POLICIES[wait],
+            total_compute_us=total_compute_us,
+        )
+
+    return factory
+
+
 # ----------------------------------------------------------------------
 # Figure 3: EP speedup vs core count
 # ----------------------------------------------------------------------
@@ -62,31 +138,26 @@ def ep_speedup_series(
     one_per_core: bool = False,
     seeds: Iterable[int] = range(5),
     total_compute_us: int = 1_000_000,
+    store=None,
 ) -> dict[int, RepeatedResult]:
     """EP compiled with 16 threads, run on 1..16 cores (Figure 3).
 
     ``one_per_core`` instead runs as many threads as cores, pinned --
-    the paper's ideal-scaling reference line.
+    the paper's ideal-scaling reference line.  ``store`` makes the
+    series incremental: cells already in the content-addressed store
+    are served from it (see docs/store.md).
     """
     out: dict[int, RepeatedResult] = {}
     for n_cores in core_counts:
         threads = n_cores if one_per_core else n_threads
         per_thread = total_compute_us * n_threads // threads
-
-        def factory(system, threads=threads, per_thread=per_thread):
-            return ep_app(
-                system,
-                n_threads=threads,
-                wait_policy=WAIT_POLICIES[wait],
-                total_compute_us=per_thread,
-            )
-
         out[n_cores] = repeat_run(
-            _machine(machine),
-            factory,
+            machine if store is not None else _machine(machine),
+            _app_factory(wait, threads, per_thread),
             balancer="pinned" if one_per_core else balancer,
             cores=n_cores,
             seeds=seeds,
+            store=store,
         )
     return out
 
@@ -102,6 +173,7 @@ def balance_interval_sweep(
     n_cores: int = 2,
     seeds: Iterable[int] = range(3),
     machine: str = "tigerton",
+    store=None,
 ) -> dict[tuple[int, int], RepeatedResult]:
     """Three threads on two cores, EP with barriers (Figure 2).
 
@@ -113,23 +185,17 @@ def balance_interval_sweep(
     for period in barrier_periods_us:
         for interval in balance_intervals_us:
             cfg = SpeedBalancerConfig(interval_us=interval)
-
-            def factory(system, period=period):
-                return ep_app(
-                    system,
-                    n_threads=n_threads,
-                    wait_policy=WAIT_POLICIES["yield"],
-                    total_compute_us=total_compute_us,
-                    barrier_period_us=period,
-                )
-
             out[(period, interval)] = repeat_run(
-                _machine(machine),
-                factory,
+                machine if store is not None else _machine(machine),
+                _app_factory(
+                    "yield", n_threads, total_compute_us,
+                    barrier_period_us=period,
+                ),
                 balancer="speed",
                 cores=n_cores,
                 seeds=seeds,
                 speed_config=cfg,
+                store=store,
             )
     return out
 
@@ -146,28 +212,20 @@ def npb_improvement(
     seeds: Iterable[int] = range(10),
     n_threads: int = 16,
     total_compute_us: int = 400_000,
+    store=None,
 ) -> dict[tuple[str, int, str], RepeatedResult]:
     """NPB subset across core counts and balancers (Figure 4, Table 3)."""
     out: dict[tuple[str, int, str], RepeatedResult] = {}
     for bench in benches:
         for n_cores in core_counts:
             for balancer in balancers:
-
-                def factory(system, bench=bench):
-                    return make_nas_app(
-                        system,
-                        bench,
-                        n_threads=n_threads,
-                        wait_policy=WAIT_POLICIES[wait],
-                        total_compute_us=total_compute_us,
-                    )
-
                 out[(bench, n_cores, balancer)] = repeat_run(
-                    _machine(machine),
-                    factory,
+                    machine if store is not None else _machine(machine),
+                    _app_factory(wait, n_threads, total_compute_us, bench=bench),
                     balancer=balancer,
                     cores=n_cores,
                     seeds=seeds,
+                    store=store,
                 )
     return out
 
@@ -184,28 +242,21 @@ def cpu_hog_series(
     seeds: Iterable[int] = range(5),
     machine: str = "tigerton",
     total_compute_us: int = 1_000_000,
+    store=None,
 ) -> dict[int, RepeatedResult]:
     """EP sharing the machine with a cpu-hog pinned to core 0."""
     out: dict[int, RepeatedResult] = {}
     for n_cores in core_counts:
         threads = n_cores if one_per_core else n_threads
         per_thread = total_compute_us * n_threads // threads
-
-        def factory(system, threads=threads, per_thread=per_thread):
-            return ep_app(
-                system,
-                n_threads=threads,
-                wait_policy=WAIT_POLICIES[wait],
-                total_compute_us=per_thread,
-            )
-
         out[n_cores] = repeat_run(
-            _machine(machine),
-            factory,
+            machine if store is not None else _machine(machine),
+            _app_factory(wait, threads, per_thread),
             balancer="pinned" if one_per_core else balancer,
             cores=n_cores,
             seeds=seeds,
-            corunner_factories=[lambda system: CpuHog(system, core=0)],
+            corunner_factories=(CorunnerSpec("cpu-hog", core=0),),
+            store=store,
         )
     return out
 
@@ -222,30 +273,20 @@ def make_share_series(
     seeds: Iterable[int] = range(5),
     n_threads: int = 16,
     total_compute_us: int = 300_000,
+    store=None,
 ) -> dict[tuple[str, str], RepeatedResult]:
     """NPB sharing all 16 cores with a make -j co-runner (Figure 6)."""
     out: dict[tuple[str, str], RepeatedResult] = {}
     for bench in benches:
         for balancer in balancers:
-
-            def factory(system, bench=bench):
-                return make_nas_app(
-                    system,
-                    bench,
-                    n_threads=n_threads,
-                    wait_policy=WAIT_POLICIES[wait],
-                    total_compute_us=total_compute_us,
-                )
-
             out[(bench, balancer)] = repeat_run(
-                _machine(machine),
-                factory,
+                machine if store is not None else _machine(machine),
+                _app_factory(wait, n_threads, total_compute_us, bench=bench),
                 balancer=balancer,
                 cores=16,
                 seeds=seeds,
-                corunner_factories=[
-                    lambda system: MakeWorkload(system, j=j, jobs=4 * j)
-                ],
+                corunner_factories=(CorunnerSpec("make-j", j=j, jobs=4 * j),),
+                store=store,
             )
     return out
 
@@ -253,20 +294,10 @@ def make_share_series(
 # ----------------------------------------------------------------------
 # smoke registry: one scaled-down run per scenario family
 # ----------------------------------------------------------------------
-def _cpu_hog_corunner(system):
-    """The Figure 5 co-runner (module-level so run specs pickle)."""
-    return CpuHog(system, core=0)
-
-
-def _make_corunner(system):
-    """A small make -j co-runner (module-level so run specs pickle)."""
-    return MakeWorkload(system, j=4, jobs=8)
-
-
 #: co-runner factories addressable by name from a :class:`ScenarioSmoke`
 _CORUNNERS: dict[str, Callable] = {
-    "cpu-hog": _cpu_hog_corunner,
-    "make-j": _make_corunner,
+    "cpu-hog": CorunnerSpec("cpu-hog", core=0),
+    "make-j": CorunnerSpec("make-j", j=4, jobs=8),
 }
 
 
@@ -311,6 +342,33 @@ class ScenarioSmoke:
             trace=True,
             return_system=True,
             instrument=instrument,
+        )
+
+    def spec(self, seed: int = 0):
+        """The same configuration as a storable, digestable ``RunSpec``.
+
+        ``run_app(**spec)`` and :meth:`run` build byte-identical
+        simulations, so ``repro.store.spec_digest(smoke.spec())`` keys
+        the exact run :meth:`run` performs -- the parity tests lean on
+        this to assert cached results equal fresh ones per family.
+        """
+        # imported here: parallel builds on the harness, not vice versa
+        from repro.harness.parallel import RunSpec
+
+        kwargs: dict = {}
+        if self.corunners:
+            kwargs["corunner_factories"] = tuple(
+                _CORUNNERS[c] for c in self.corunners
+            )
+        if self.speed_config is not None:
+            kwargs["speed_config"] = self.speed_config
+        return RunSpec.make(
+            self.machine,
+            self.app,
+            balancer=self.balancer,
+            cores=self.cores,
+            seed=seed,
+            **kwargs,
         )
 
 

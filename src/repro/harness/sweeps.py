@@ -40,12 +40,26 @@ class SweepResult:
     def series(self, x_name: str, **fixed) -> tuple[list, list]:
         """Extract (xs, ys) varying ``x_name`` with the rest fixed.
 
-        ``fixed`` must pin every other parameter; raises KeyError when a
-        named parameter does not exist and ValueError when the fixing is
-        incomplete.
+        ``fixed`` must pin every other parameter, exactly: raises
+        KeyError when a named parameter does not exist (including
+        unrecognized ``fixed`` keys, which would otherwise be silently
+        ignored -- a typo would select nothing or everything) and
+        ValueError when the fixing is incomplete or pins ``x_name``
+        itself.
         """
         if x_name not in self.param_names:
             raise KeyError(f"unknown parameter {x_name!r}")
+        unknown = sorted(n for n in fixed if n not in self.param_names)
+        if unknown:
+            raise KeyError(
+                f"unknown fixed parameter(s) {unknown}; this sweep has "
+                f"{list(self.param_names)}"
+            )
+        if x_name in fixed:
+            raise ValueError(
+                f"cannot fix the varying parameter {x_name!r}; pass it as "
+                "x_name or fix it, not both"
+            )
         others = [n for n in self.param_names if n != x_name]
         missing = [n for n in others if n not in fixed]
         if missing:
@@ -71,6 +85,7 @@ def sweep(
     runner: Callable[..., Any],
     progress: Callable[[dict, Any], None] | None = None,
     workers: int | None = 1,
+    store=None,
 ) -> SweepResult:
     """Run ``runner(**assignment)`` over the cartesian grid.
 
@@ -84,15 +99,31 @@ def sweep(
     ``SweepResult`` is identical to a serial sweep.  The runner, every
     assignment and every outcome must pickle with ``workers > 1``
     (module-level runner functions do; lambdas and closures do not).
+
+    ``store`` (a directory path or :class:`~repro.store.ResultStore`)
+    makes the sweep *incremental*: each cell is keyed by the runner's
+    code identity plus its full assignment
+    (:func:`repro.store.sweep_cell_key`), cells already in the store
+    are served from it without running anything, and fresh outcomes
+    are filed back.  Re-running an identical sweep therefore executes
+    zero cells; changing one grid value executes exactly the new
+    cells.  The runner must be a module-level function and every
+    outcome either a result object or a plain JSON-able value.
     """
     if not grid:
         raise ValueError("empty parameter grid")
     names = tuple(grid.keys())
     combos = list(itertools.product(*(grid[n] for n in names)))
+    assignments = [dict(zip(names, combo)) for combo in combos]
     points: dict[tuple, Any] = {}
-    if workers == 1:
-        for combo in combos:
-            assignment = dict(zip(names, combo))
+    if store is not None:
+        outcomes = _cached_outcomes(runner, assignments, store, workers)
+        for combo, assignment, outcome in zip(combos, assignments, outcomes):
+            points[combo] = outcome
+            if progress is not None:
+                progress(assignment, outcome)
+    elif workers == 1:
+        for combo, assignment in zip(combos, assignments):
             outcome = runner(**assignment)
             points[combo] = outcome
             if progress is not None:
@@ -101,10 +132,53 @@ def sweep(
         # imported here: parallel builds on the harness, not vice versa
         from repro.harness.parallel import starmap_kwargs
 
-        assignments = [dict(zip(names, combo)) for combo in combos]
         outcomes = starmap_kwargs(runner, assignments, workers=workers)
         for combo, assignment, outcome in zip(combos, assignments, outcomes):
             points[combo] = outcome
             if progress is not None:
                 progress(assignment, outcome)
     return SweepResult(param_names=names, points=points)
+
+
+def _cached_outcomes(
+    runner: Callable[..., Any],
+    assignments: list[dict],
+    store,
+    workers: int | None,
+) -> list:
+    """Serve each assignment from the store; run and file the misses."""
+    # imported here: the store builds on the harness, not vice versa
+    from repro.store import (
+        ResultStore,
+        StoreIntegrityError,
+        digest_of,
+        sweep_cell_key,
+    )
+
+    if isinstance(store, str):
+        store = ResultStore(store)
+    keys = [sweep_cell_key(runner, a) for a in assignments]
+    digests = [digest_of(k) for k in keys]
+    outcomes: list[Any] = [None] * len(assignments)
+    miss: list[int] = []
+    for i, digest in enumerate(digests):
+        entry = None
+        try:
+            entry = store.get(digest)
+        except StoreIntegrityError:
+            # detected corruption: drop the entry and recompute the cell
+            store.delete(digest)
+        if entry is None:
+            miss.append(i)
+        else:
+            outcomes[i] = entry.payload
+    if miss:
+        from repro.harness.parallel import starmap_kwargs
+
+        fresh = starmap_kwargs(
+            runner, [assignments[i] for i in miss], workers=workers
+        )
+        for i, outcome in zip(miss, fresh):
+            store.put(keys[i], outcome)
+            outcomes[i] = outcome
+    return outcomes

@@ -1,10 +1,15 @@
-"""Result/trace export: dicts, JSON and CSV.
+"""Result/trace export and import: dicts, JSON and CSV.
 
 Experiments that take minutes to simulate deserve durable outputs:
 ``result_to_dict`` / ``results_to_json`` serialize
 :class:`~repro.metrics.results.AppRunResult` (and repeats) including
-the derived metrics; ``trace_to_csv`` dumps a
-:class:`~repro.metrics.trace.TraceRecorder` for external plotting.
+the derived metrics; ``result_from_dict`` / ``results_from_json`` are
+the exact inverses (derived metrics are recomputed, not trusted), so a
+result can round-trip through disk -- the content-addressed store
+(:mod:`repro.store`) is built on that guarantee.  ``trace_to_dict`` /
+``trace_from_dict`` do the same for a full
+:class:`~repro.metrics.trace.TraceRecorder` history, and
+``trace_to_csv`` dumps one for external plotting.
 """
 
 from __future__ import annotations
@@ -15,9 +20,17 @@ import json
 from typing import Iterable, Union
 
 from repro.metrics.results import AppRunResult, RepeatedResult
-from repro.metrics.trace import TraceRecorder
+from repro.metrics.trace import MigrationEvent, Segment, TraceRecorder
 
-__all__ = ["result_to_dict", "results_to_json", "trace_to_csv"]
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "results_to_json",
+    "results_from_json",
+    "trace_to_dict",
+    "trace_from_dict",
+    "trace_to_csv",
+]
 
 
 def result_to_dict(result: Union[AppRunResult, RepeatedResult]) -> dict:
@@ -54,11 +67,96 @@ def result_to_dict(result: Union[AppRunResult, RepeatedResult]) -> dict:
     }
 
 
+def result_from_dict(d: dict) -> Union[AppRunResult, RepeatedResult]:
+    """Rebuild a result from its :func:`result_to_dict` form.
+
+    Only measured fields are read back; derived metrics (``speedup``,
+    ``variation_pct``, ...) are properties recomputed from those
+    fields, so a loaded result is *identical* to the original --
+    ``loaded.canonical_json() == original.canonical_json()`` byte for
+    byte.  Unknown keys are ignored (forward compatibility); missing
+    measured fields raise ``KeyError``.
+    """
+    kind = d.get("type", "run")
+    if kind == "repeated":
+        return RepeatedResult(runs=[_run_from_dict(r) for r in d["runs"]])
+    if kind == "run":
+        return _run_from_dict(d)
+    raise ValueError(f"unknown result type {kind!r}; expected 'run' or 'repeated'")
+
+
+def _run_from_dict(d: dict) -> AppRunResult:
+    return AppRunResult(
+        app_name=d["app_name"],
+        balancer=d["balancer"],
+        n_cores=d["n_cores"],
+        n_threads=d["n_threads"],
+        seed=d["seed"],
+        elapsed_us=d["elapsed_us"],
+        total_work_us=d["total_work_us"],
+        migrations=d["migrations"],
+        thread_exec_us=list(d["thread_exec_us"]),
+        thread_compute_us=list(d["thread_compute_us"]),
+        thread_finish_us=list(d["thread_finish_us"]),
+        system_migrations=d.get("system_migrations", 0),
+    )
+
+
 def results_to_json(
     results: Iterable[Union[AppRunResult, RepeatedResult]], indent: int = 2
 ) -> str:
     """JSON document for a collection of results."""
     return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+def results_from_json(text: str) -> list[Union[AppRunResult, RepeatedResult]]:
+    """Parse a :func:`results_to_json` document back into result objects."""
+    doc = json.loads(text)
+    if not isinstance(doc, list):
+        raise ValueError(
+            f"expected a JSON array of results, got {type(doc).__name__}"
+        )
+    return [result_from_dict(d) for d in doc]
+
+
+def trace_to_dict(trace: TraceRecorder) -> dict:
+    """Serialize a complete recorded history, truncation counters included."""
+    return {
+        "limit": trace.limit,
+        "dropped": trace.dropped,
+        "migrations_dropped": trace.migrations_dropped,
+        "segments": [
+            [s.tid, s.task_name, s.core, s.start, s.end, s.kind]
+            for s in trace.segments
+        ],
+        "migrations": [
+            [m.time, m.tid, m.task_name, m.src, m.dst, int(m.forced), m.reason]
+            for m in trace.migrations
+        ],
+    }
+
+
+def trace_from_dict(d: dict) -> TraceRecorder:
+    """Rebuild a :class:`TraceRecorder` from its :func:`trace_to_dict` form.
+
+    Records are restored verbatim (bypassing the recorder's own cap
+    logic) so the loaded trace -- including ``dropped`` counters and
+    therefore :attr:`~repro.metrics.trace.TraceRecorder.truncated` --
+    is indistinguishable from the live one:
+    :func:`repro.analysis.sanitizer.trace_digest` of the two is equal.
+    """
+    trace = TraceRecorder(limit=d["limit"])
+    trace.segments = [
+        Segment(tid, name, core, start, end, kind)
+        for tid, name, core, start, end, kind in d["segments"]
+    ]
+    trace.migrations = [
+        MigrationEvent(time, tid, name, src, dst, bool(forced), reason)
+        for time, tid, name, src, dst, forced, reason in d["migrations"]
+    ]
+    trace.dropped = d["dropped"]
+    trace.migrations_dropped = d["migrations_dropped"]
+    return trace
 
 
 def trace_to_csv(trace: TraceRecorder) -> str:

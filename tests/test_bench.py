@@ -59,6 +59,19 @@ class TestPayloads:
         with pytest.raises(ValueError, match="schema"):
             bench.load_payload(p)
 
+    @pytest.mark.parametrize("label", [
+        "", "a b", "a/b", "../escape", "é", "a.b", "lab:el",
+    ])
+    def test_invalid_label_rejected(self, label):
+        # labels become the BENCH_<label>.json filename
+        with pytest.raises(ValueError, match="label"):
+            bench.to_payload(fast_results(), label=label, quick=True)
+
+    @pytest.mark.parametrize("label", ["ci", "base-line_2", "A1"])
+    def test_valid_labels_accepted(self, label):
+        assert bench.to_payload(fast_results(), label=label,
+                                quick=True)["label"] == label
+
 
 class TestCompare:
     @staticmethod

@@ -57,6 +57,102 @@ class TestCommands:
         assert "ideal speedup 2" in out
 
 
+class TestStoreCommands:
+    SUBMIT = [
+        "submit", "--threads", "4", "--cores", "2", "--seconds", "0.05",
+        "--repeats", "1", "--balancer", "speed",
+    ]
+
+    def _submit(self, store, *extra):
+        return run_cli([*self.SUBMIT, "--store", store, *extra])
+
+    def test_submit_then_cached(self, tmp_path):
+        store = str(tmp_path / "s")
+        rc, out = self._submit(store)
+        assert rc == 0
+        assert "1 executed" in out and "0 cached" in out
+        rc, out = self._submit(store, "--expect-cached")
+        assert rc == 0
+        assert "1 cached" in out and "0 executed" in out
+
+    def test_expect_cached_fails_on_cold_store(self, tmp_path, capsys):
+        rc = main([*self.SUBMIT, "--store", str(tmp_path / "s"),
+                   "--expect-cached"])
+        assert rc == 1
+        assert "expected a fully cached batch" in capsys.readouterr().err
+
+    def test_submit_json(self, tmp_path):
+        import json
+
+        rc, out = self._submit(str(tmp_path / "s"), "--json")
+        assert rc == 0
+        payload = json.loads(out)
+        assert len(payload) == 1
+        assert payload[0]["result"]["app_name"] == "ep.C"
+        assert len(payload[0]["digest"]) == 64
+
+    def test_status_and_fetch(self, tmp_path):
+        store = str(tmp_path / "s")
+        import json
+
+        _, out = self._submit(store, "--json")
+        digest = json.loads(out)[0]["digest"]
+
+        rc, out = run_cli(["status", "--store", store])
+        assert rc == 0
+        assert digest[:12] in out and "speed" in out
+
+        rc, out = run_cli(["fetch", digest[:8], "--store", store, "--json"])
+        assert rc == 0
+        assert json.loads(out)["app_name"] == "ep.C"
+
+    def test_fetch_unknown_digest_clean_error(self, tmp_path, capsys):
+        self._submit(str(tmp_path / "s"))
+        rc = main(["fetch", "0000", "--store", str(tmp_path / "s")])
+        assert rc == 2
+        assert "no store entry" in capsys.readouterr().err
+
+    def test_store_maintenance(self, tmp_path):
+        store = str(tmp_path / "s")
+        self._submit(store)
+        rc, out = run_cli(["store", "stats", "--store", store])
+        assert rc == 0 and "entries" in out
+        rc, out = run_cli(["store", "verify", "--store", store])
+        assert rc == 0 and "clean" in out
+        rc, out = run_cli(["store", "gc", "--store", store, "--max-entries", "0"])
+        assert rc == 0 and "evicted 1" in out
+
+    def test_verify_reports_corruption(self, tmp_path):
+        import json
+
+        store = str(tmp_path / "s")
+        _, out = self._submit(store, "--json")
+        digest = json.loads(out)[0]["digest"]
+        from repro.store import ResultStore
+
+        path = ResultStore(store)._object_dir(digest) / "entry.json"
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        rc, out = run_cli(["store", "verify", "--store", store])
+        assert rc == 1
+        assert "corrupt" in out
+
+    def test_sanitize_stored(self, tmp_path):
+        store = str(tmp_path / "s")
+        self._submit(store, "--trace")
+        rc, out = run_cli(["sanitize", "--store", store, "--stored"])
+        assert rc == 0
+        assert "sanitize: ok" in out and "1 stored trace" in out
+
+    def test_sanitize_stored_without_traces_errors(self, tmp_path, capsys):
+        store = str(tmp_path / "s")
+        self._submit(store)  # no --trace
+        rc = main(["sanitize", "--store", store, "--stored"])
+        assert rc == 2
+        assert "no traced entries" in capsys.readouterr().err
+
+
 class TestCliErrorHandling:
     def test_oversized_core_subset_clean_error(self, capsys):
         rc = main([

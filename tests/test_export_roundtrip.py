@@ -1,0 +1,105 @@
+"""Property tests: metrics.export serialization is a lossless inverse."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.export import (
+    result_from_dict,
+    result_to_dict,
+    results_from_json,
+    results_to_json,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.metrics.results import AppRunResult, RepeatedResult
+
+
+@st.composite
+def app_run_results(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    us = st.integers(min_value=0, max_value=10**9)
+    exec_us = draw(st.lists(st.integers(min_value=1, max_value=10**9),
+                            min_size=n, max_size=n))
+    compute_us = [draw(st.integers(min_value=0, max_value=e)) for e in exec_us]
+    return AppRunResult(
+        app_name=draw(st.sampled_from(["ep.C", "cg.B", "bt.A", "is.C"])),
+        balancer=draw(st.sampled_from(["speed", "load", "pinned"])),
+        n_cores=draw(st.integers(min_value=1, max_value=16)),
+        n_threads=n,
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+        elapsed_us=draw(st.integers(min_value=1, max_value=10**9)),
+        total_work_us=draw(us),
+        migrations=draw(st.integers(min_value=0, max_value=10**6)),
+        thread_exec_us=exec_us,
+        thread_compute_us=compute_us,
+        thread_finish_us=draw(st.lists(us, min_size=n, max_size=n)),
+        system_migrations=draw(st.integers(min_value=0, max_value=10**6)),
+    )
+
+
+class TestResultRoundTrip:
+    @given(result=app_run_results())
+    @settings(max_examples=50, deadline=None)
+    def test_run_roundtrip_is_identity(self, result):
+        back = result_from_dict(result_to_dict(result))
+        assert back == result
+        assert back.canonical_json() == result.canonical_json()
+
+    @given(runs=st.lists(app_run_results(), min_size=1, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_repeated_roundtrip_is_identity(self, runs):
+        repeated = RepeatedResult(runs=runs)
+        back = result_from_dict(result_to_dict(repeated))
+        assert isinstance(back, RepeatedResult)
+        assert back.runs == runs
+
+    @given(runs=st.lists(app_run_results(), min_size=1, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_json_roundtrip_mixed(self, runs):
+        results = [*runs, RepeatedResult(runs=runs)]
+        back = results_from_json(results_to_json(results))
+        assert back == results
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="type"):
+            result_from_dict({"type": "mystery"})
+        with pytest.raises(ValueError):
+            results_from_json(json.dumps({"not": "a list"}))
+
+
+class TestTraceRoundTrip:
+    def test_trace_roundtrip_verbatim(self):
+        from repro.apps.workloads import AppSpec
+        from repro.harness.experiment import run_app
+        from repro.topology import presets
+
+        _, system = run_app(
+            presets.uniform(4),
+            AppSpec(bench="ep.C", n_threads=4, total_compute_us=40_000),
+            balancer="speed",
+            cores=2,
+            trace=True,
+            return_system=True,
+        )
+        trace = system.trace
+        back = trace_from_dict(trace_to_dict(trace))
+        assert back.segments == trace.segments
+        assert back.migrations == trace.migrations
+        assert back.limit == trace.limit
+        assert back.dropped == trace.dropped
+        assert back.migrations_dropped == trace.migrations_dropped
+
+    def test_dropped_counters_preserved(self):
+        from repro.metrics.trace import TraceRecorder
+
+        rec = TraceRecorder(limit=2)
+        for i in range(5):
+            rec.record(tid=i, name=f"t{i}", core=0,
+                       start=i * 10, end=i * 10 + 5, kind="exec")
+        assert rec.dropped == 3
+        back = trace_from_dict(trace_to_dict(rec))
+        assert back.dropped == 3
+        assert back.truncated

@@ -70,3 +70,90 @@ class TestWaitPolicies:
         assert set(scenarios.WAIT_POLICIES) >= {
             "yield", "sleep", "spin", "omp-default", "omp-infinite",
         }
+
+
+class TestCorunnerSpec:
+    def test_unknown_kind_rejected(self, tigerton_system):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown co-runner kind"):
+            scenarios.CorunnerSpec("dd-bench").build(tigerton_system)
+
+    def test_specs_are_storable(self):
+        from repro.store import canonical_value, digest_of
+
+        a = scenarios.CorunnerSpec("cpu-hog", core=0)
+        b = scenarios.CorunnerSpec("make-j", j=4, jobs=8)
+        assert digest_of(canonical_value(a)) != digest_of(canonical_value(b))
+
+
+class TestScenarioStoreParity:
+    """Cache-hit results must be byte-identical to cache-miss results,
+    one representative configuration per scenario family."""
+
+    def _parity(self, tmp_path, name):
+        from repro.analysis.sanitizer import run_digest
+        from repro.service import JobService
+        from repro.store import ResultStore
+
+        smoke = scenarios.scenario_smokes()[name]
+        fresh, _ = smoke.run(seed=0)
+
+        store = ResultStore(tmp_path / "s")
+        miss = JobService(store)
+        (stored,) = miss.submit([smoke.spec(seed=0)])
+        assert miss.executed == 1
+        hit = JobService(store)
+        (cached,) = hit.submit([smoke.spec(seed=0)])
+        assert hit.executed == 0
+
+        assert run_digest(stored) == run_digest(fresh)
+        assert run_digest(cached) == run_digest(fresh)
+
+    def test_parity_ep_speedup(self, tmp_path):
+        self._parity(tmp_path, "ep-speedup")
+
+    def test_parity_balance_interval(self, tmp_path):
+        self._parity(tmp_path, "balance-interval")
+
+    def test_parity_npb(self, tmp_path):
+        self._parity(tmp_path, "npb-speed")
+
+    def test_parity_cpu_hog(self, tmp_path):
+        self._parity(tmp_path, "cpu-hog")
+
+    def test_parity_make_share(self, tmp_path):
+        self._parity(tmp_path, "make-share")
+
+    def test_scenario_store_path_end_to_end(self, tmp_path):
+        """A scenario function with store= executes zero runs the
+        second time and returns identical aggregates."""
+        from repro.service import JobService
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "s")
+        kwargs = dict(core_counts=[2], n_threads=4, seeds=range(2),
+                      total_compute_us=50_000)
+        svc = JobService(store)
+        first = scenarios.ep_speedup_series(store=svc, **kwargs)
+        assert svc.executed == 2
+        svc2 = JobService(store)
+        second = scenarios.ep_speedup_series(store=svc2, **kwargs)
+        assert svc2.executed == 0
+        assert first[2].mean_speedup == second[2].mean_speedup
+        nostore = scenarios.ep_speedup_series(**kwargs)
+        assert nostore[2].mean_speedup == first[2].mean_speedup
+
+    def test_omp_wait_policies_unstorable_but_runnable(self, tmp_path):
+        """The OMP wait flavors fall back to closures: they run fine
+        without a store and fail loudly with one."""
+        import pytest
+
+        from repro.store import UnstorableSpecError
+
+        kwargs = dict(core_counts=[2], n_threads=3, seeds=range(1),
+                      total_compute_us=30_000, wait="omp-default")
+        out = scenarios.ep_speedup_series(**kwargs)
+        assert out[2].runs[0].elapsed_us > 0
+        with pytest.raises(UnstorableSpecError):
+            scenarios.ep_speedup_series(store=str(tmp_path / "s"), **kwargs)

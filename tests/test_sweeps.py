@@ -31,6 +31,17 @@ class TestSweep:
         with pytest.raises(KeyError):
             result.series("z", y=1)
 
+    def test_series_rejects_unknown_fixed_params(self):
+        result = sweep({"x": [1, 2], "y": [1]}, lambda x, y: x + y)
+        # a typo'd fixed name would silently select nothing/everything
+        with pytest.raises(KeyError, match=r"unknown fixed parameter.*'mode'"):
+            result.series("x", y=1, mode="speed")
+
+    def test_series_rejects_fixing_the_x_axis(self):
+        result = sweep({"x": [1, 2], "y": [1]}, lambda x, y: x + y)
+        with pytest.raises(ValueError, match="cannot fix"):
+            result.series("x", x=1, y=1)
+
     def test_progress_callback(self):
         seen = []
         sweep({"a": [1, 2]}, lambda a: a, progress=lambda p, o: seen.append((p, o)))
@@ -57,6 +68,68 @@ class TestSweep:
         xs, ys = result.series("cores", balancer="pinned")
         assert xs == [2, 4]
         assert ys[1] > ys[0]
+
+
+#: module-level counting runner so incremental sweeps can key it
+_CELL_CALLS = {"n": 0}
+
+
+def _counting_cell(a, b):
+    _CELL_CALLS["n"] += 1
+    return a * b
+
+
+class TestIncrementalSweep:
+    def test_second_run_executes_zero_cells(self, tmp_path):
+        root = str(tmp_path / "store")
+        _CELL_CALLS["n"] = 0
+        first = sweep({"a": [1, 2], "b": [10, 20]}, _counting_cell, store=root)
+        assert _CELL_CALLS["n"] == 4
+        again = sweep({"a": [1, 2], "b": [10, 20]}, _counting_cell, store=root)
+        assert _CELL_CALLS["n"] == 4  # zero new executions
+        assert again.points == first.points
+
+    def test_growing_the_grid_pays_only_for_new_cells(self, tmp_path):
+        root = str(tmp_path / "store")
+        _CELL_CALLS["n"] = 0
+        sweep({"a": [1, 2], "b": [10]}, _counting_cell, store=root)
+        assert _CELL_CALLS["n"] == 2
+        grown = sweep({"a": [1, 2, 3], "b": [10]}, _counting_cell, store=root)
+        assert _CELL_CALLS["n"] == 3  # only a=3 ran
+        assert grown.get(a=3, b=10) == 30
+
+    def test_corrupt_cell_recomputed(self, tmp_path):
+        from repro.store import ResultStore, digest_of, sweep_cell_key
+
+        root = str(tmp_path / "store")
+        _CELL_CALLS["n"] = 0
+        sweep({"a": [5], "b": [7]}, _counting_cell, store=root)
+        store = ResultStore(root)
+        digest = digest_of(sweep_cell_key(_counting_cell, {"a": 5, "b": 7}))
+        path = store._object_dir(digest) / "entry.json"
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        result = sweep({"a": [5], "b": [7]}, _counting_cell, store=root)
+        assert _CELL_CALLS["n"] == 2  # recomputed, never served corrupt
+        assert result.get(a=5, b=7) == 35
+        assert store.verify() == []
+
+    def test_lambda_runner_rejected_before_running(self, tmp_path):
+        from repro.store import UnstorableSpecError
+
+        with pytest.raises(UnstorableSpecError):
+            sweep({"a": [1]}, lambda a: a, store=str(tmp_path / "store"))
+
+    def test_progress_fires_for_cached_cells(self, tmp_path):
+        root = str(tmp_path / "store")
+        sweep({"a": [1], "b": [2]}, _counting_cell, store=root)
+        seen = []
+        sweep(
+            {"a": [1], "b": [2]}, _counting_cell, store=root,
+            progress=lambda p, o: seen.append((p, o)),
+        )
+        assert seen == [({"a": 1, "b": 2}, 2)]
 
 
 class TestExtendedCatalog:
