@@ -34,6 +34,14 @@ SIM006   Unordered filesystem iteration -- ``os.listdir``,
          without an enclosing ``sorted(...)``.  Directory order is
          filesystem-dependent, so scenario discovery, result loading
          and trace analysis would differ between machines.
+SIM007   O(n) aggregate recomputation in a *hot scheduling module*
+         (``sched/`` or ``core/``): ``sum``/``min``/``max``/``any``/
+         ``all`` over a task or core population (``rq``, ``.tasks``,
+         ``.cores``, ``runnable_tasks``).  These run per dispatch or
+         per balancer wake; the aggregate must be maintained
+         incrementally at mutation time instead (the way the run
+         queues maintain ``total_weight``/``max_vruntime`` and the
+         system maintains the per-scope memory-intensity index).
 ======== =============================================================
 
 Suppression
@@ -77,6 +85,18 @@ __all__ = [
 
 #: directories whose modules make scheduling decisions (SIM001 scope)
 DECISION_DIRS = frozenset({"balance", "sched", "core"})
+
+#: directories on the per-dispatch / per-wake hot path (SIM007 scope);
+#: the allowlist policy keeps these at zero entries -- an O(n)
+#: recomputation there is fixed by maintaining the aggregate, not excused
+HOT_AGG_DIRS = frozenset({"sched", "core"})
+
+#: aggregator builtins whose population-wide use SIM007 flags
+_AGGREGATORS = frozenset({"sum", "min", "max", "any", "all"})
+
+#: names/attributes denoting a task or core population (SIM007): the
+#: run queue, task snapshots, and full-core sweeps
+_POPULATION_NAMES = frozenset({"rq", "tasks", "cores", "runnable_tasks"})
 
 #: directories whose modules enumerate the filesystem (SIM006 scope):
 #: the harness discovers scenarios/results on disk, the analysis layer
@@ -137,6 +157,7 @@ RULES: dict[str, LintRule] = {
         LintRule("SIM004", "float arithmetic on an engine timestamp"),
         LintRule("SIM005", "mutable default argument"),
         LintRule("SIM006", "unordered filesystem iteration in a harness/analysis module"),
+        LintRule("SIM007", "O(n) aggregate recomputation in a hot scheduling module"),
     )
 }
 
@@ -231,6 +252,20 @@ def _is_fs_order_module(path: Path) -> bool:
     return bool(FS_ORDER_DIRS.intersection(path.parts[:-1]))
 
 
+def _is_hot_module(path: Path) -> bool:
+    return bool(HOT_AGG_DIRS.intersection(path.parts[:-1]))
+
+
+def _mentions_population(node: ast.expr) -> bool:
+    """Does this expression reach into a task/core population?"""
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name) and n.id in _POPULATION_NAMES:
+            return True
+        if isinstance(n, ast.Attribute) and n.attr in _POPULATION_NAMES:
+            return True
+    return False
+
+
 def _call_name(node: ast.Call) -> Optional[str]:
     if isinstance(node.func, ast.Name):
         return node.func.id
@@ -305,6 +340,7 @@ class _Visitor(ast.NodeVisitor):
         self.path = path
         self.decision = _is_decision_module(path)
         self.fs_order = _is_fs_order_module(path)
+        self.hot = _is_hot_module(path)
         self.findings: list[Finding] = []
         self.sets = _SetTracker()
         self._time_alias: set[str] = set()  # names bound to the time module
@@ -402,6 +438,7 @@ class _Visitor(ast.NodeVisitor):
             for arg in node.args:
                 self._sorted_args.add(id(arg))
         self._check_fs_iteration(node)
+        self._check_aggregate_sweep(node)
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
             owner, attr = func.value.id, func.attr
             if owner in self._random_alias or owner == "random":
@@ -456,6 +493,38 @@ class _Visitor(ast.NodeVisitor):
             f"{name}() yields entries in filesystem-dependent order; wrap "
             "the call in sorted(...) so discovery is reproducible",
         )
+
+    def _check_aggregate_sweep(self, node: ast.Call) -> None:
+        """SIM007: population-wide aggregation in a hot scheduling module.
+
+        Flags ``sum``/``min``/``max``/``any``/``all`` whose argument
+        is a comprehension iterating a task/core population, or which
+        consume such a population directly (``max(cores, key=...)``).
+        Two-or-more positional scalars (``min(a, b)``) are exempt --
+        that is scalar arithmetic, not a sweep.
+        """
+        if not self.hot:
+            return
+        func = node.func
+        if not (isinstance(func, ast.Name) and func.id in _AGGREGATORS):
+            return
+        if not node.args:
+            return
+        arg = node.args[0]
+        hit = False
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            hit = any(_mentions_population(gen.iter) for gen in arg.generators)
+        elif len(node.args) == 1:
+            hit = _mentions_population(arg)
+        if hit:
+            self._emit(
+                node,
+                "SIM007",
+                f"{func.id}() recomputes an aggregate over a task/core "
+                "population on the hot path; maintain it incrementally at "
+                "mutation time (as the run queues do for total_weight/"
+                "max_vruntime)",
+            )
 
     @staticmethod
     def _schedule_time_arg(node: ast.Call) -> Optional[ast.expr]:
@@ -646,7 +715,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro.analysis lint",
-        description="Determinism linter for the scheduling simulator (SIM001..SIM006)",
+        description="Determinism linter for the scheduling simulator (SIM001..SIM007)",
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"], help="files or directories")
     parser.add_argument(

@@ -556,14 +556,15 @@ def trace_digest(trace: TraceRecorder) -> str:
         return remap[tid]
 
     h = hashlib.sha256()
-    for s in trace.segments:
+    # read the recorder's columns directly (iter_*_tuples): the digest
+    # is the sanitizer's hottest loop and per-record dataclass
+    # materialization would dominate it
+    for tid, name, core, start, end, kind in trace.iter_segment_tuples():
+        h.update(f"S {tid_of(tid)} {name} {core} {start} {end} {kind}\n".encode())
+    for time, tid, name, src, dst, forced, reason in trace.iter_migration_tuples():
         h.update(
-            f"S {tid_of(s.tid)} {s.task_name} {s.core} {s.start} {s.end} {s.kind}\n".encode()
-        )
-    for m in trace.migrations:
-        h.update(
-            f"M {m.time} {tid_of(m.tid)} {m.task_name} {m.src} {m.dst} "
-            f"{int(m.forced)} {m.reason}\n".encode()
+            f"M {time} {tid_of(tid)} {name} {src} {dst} "
+            f"{int(forced)} {reason}\n".encode()
         )
     h.update(f"dropped {trace.dropped} {trace.migrations_dropped}\n".encode())
     return h.hexdigest()

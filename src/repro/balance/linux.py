@@ -105,6 +105,11 @@ class LinuxLoadBalancer(KernelBalancer):
         self.params = params or LinuxParams()
         self._last_balance: dict[tuple[int, int], int] = {}  # (cid, level) -> time
         self._failed: dict[tuple[int, int], int] = {}  # consecutive failures
+        #: cid -> [(domain, (cid, level), busy_iv, idle_iv)], built once
+        #: at attach so ticks skip per-domain enum/dict hops
+        self._tick_plan: dict[int, list] = {}
+        #: cid -> (callback, label) reused across tick reschedules
+        self._tick_cb: dict[int, tuple] = {}
         self.stats_pulls = 0
         self.stats_attempts = 0
 
@@ -113,13 +118,27 @@ class LinuxLoadBalancer(KernelBalancer):
         super().attach(system)
         for core in system.cores:
             core.idle_callbacks.append(self._newidle_balance)
+            # Per-core tick plan, precomputed once: domain list with the
+            # (cid, level) bookkeeping key and both interval choices
+            # resolved, plus a reusable callback/label pair.  The tick
+            # fires on every core every 10 ms of simulated time, so the
+            # per-tick dict/enum lookups and lambda allocations add up.
+            cid = core.cid
+            self._tick_plan[cid] = [
+                (
+                    domain,
+                    (cid, int(domain.level)),
+                    self.params.busy_interval_us[domain.level],
+                    self.params.idle_interval_us[domain.level],
+                )
+                for domain in system.machine.domains_by_core[cid]
+            ]
+            label = f"linux.tick.{cid}"
+            callback = (lambda c=core: self._tick(c))
+            self._tick_cb[cid] = (callback, label)
             # stagger periodic ticks so cores don't balance in lockstep
             offset = system.rng.jitter_us("linux.tick", self.params.tick_us)
-            system.engine.schedule(
-                self.params.tick_us + offset,
-                lambda c=core: self._tick(c),
-                f"linux.tick.{core.cid}",
-            )
+            system.engine.schedule(self.params.tick_us + offset, callback, label)
 
     # ------------------------------------------------------------------
     # periodic balancing
@@ -127,36 +146,41 @@ class LinuxLoadBalancer(KernelBalancer):
     def _tick(self, core: "CoreSim") -> None:
         assert self.system is not None
         now = self.system.engine.now
-        intervals = (
-            self.params.idle_interval_us if core.is_idle else self.params.busy_interval_us
-        )
-        for domain in self.system.machine.domains_by_core[core.cid]:
-            key = (core.cid, int(domain.level))
-            last = self._last_balance.get(key, 0)
-            if now - last >= intervals[domain.level]:
-                self._last_balance[key] = now
+        idle = core.current is None and core.rq.count == 0
+        last_balance = self._last_balance
+        for domain, key, busy_iv, idle_iv in self._tick_plan[core.cid]:
+            if now - last_balance.get(key, 0) >= (idle_iv if idle else busy_iv):
+                last_balance[key] = now
                 self._balance_domain(core, domain)
-        self.system.engine.schedule(
-            self.params.tick_us, lambda: self._tick(core), f"linux.tick.{core.cid}"
-        )
+        callback, label = self._tick_cb[core.cid]
+        self.system.engine.schedule(self.params.tick_us, callback, label)
 
     def _balance_domain(self, core: "CoreSim", domain: SchedDomain) -> None:
         """One balancing pass at one domain level, pulling toward core."""
         assert self.system is not None
         self.stats_attempts += 1
-        loads = {
-            g: sum(self.system.cores[c].nr_running for c in g) for g in domain.groups
-        }
+        cores = self.system.cores
+        # One pass over the groups, inlining nr_running: this sweep runs
+        # on every balancer tick at every domain level, so the dict of
+        # loads and the keyed max() (a lambda call per group) added up.
+        # `total > busiest_load` keeps the first maximal group, exactly
+        # as max() over the group iteration order did.
         local_group = domain.group_of(core.cid)
-        local_load = loads[local_group]
-        busiest_group = max(
-            (g for g in domain.groups if g is not local_group),
-            key=lambda g: loads[g],
-            default=None,
-        )
+        local_load = 0
+        busiest_group = None
+        busiest_load = -1
+        for g in domain.groups:
+            total = 0
+            for c in g:
+                cs = cores[c]
+                total += cs.rq.count + (1 if cs.current is not None else 0)
+            if g is local_group:
+                local_load = total
+            elif total > busiest_load:
+                busiest_group = g
+                busiest_load = total
         if busiest_group is None:
             return
-        busiest_load = loads[busiest_group]
         pct = self.params.imbalance_pct[domain.level]
         if busiest_load * 100 <= local_load * pct:
             self._failed.pop((core.cid, int(domain.level)), None)
@@ -166,10 +190,14 @@ class LinuxLoadBalancer(KernelBalancer):
         if n_to_move < 1:
             # e.g. 3 vs 2: the balance "cannot be improved"; do nothing
             return
-        busiest_core = max(
-            (self.system.cores[c] for c in busiest_group),
-            key=lambda c: c.nr_running,
-        )
+        busiest_core = None
+        busiest_nr = -1
+        for c in busiest_group:
+            cs = cores[c]
+            nr = cs.rq.count + (1 if cs.current is not None else 0)
+            if nr > busiest_nr:
+                busiest_core = cs
+                busiest_nr = nr
         moved = self._pull_tasks(core, busiest_core, n_to_move, domain.level)
         key = (core.cid, int(domain.level))
         if moved:
@@ -222,17 +250,21 @@ class LinuxLoadBalancer(KernelBalancer):
         the configured failed attempts -- an idle core beats locality.
         """
         assert self.system is not None
-        for domain in self.system.machine.domains_by_core[core.cid]:
-            busiest = max(
-                (
-                    self.system.cores[c]
-                    for c in domain.core_ids
-                    if c != core.cid
-                ),
-                key=lambda c: c.nr_running,
-                default=None,
-            )
-            if busiest is None or busiest.nr_running < 2:
+        cores = self.system.cores
+        my_cid = core.cid
+        for domain in self.system.machine.domains_by_core[my_cid]:
+            # explicit first-max scan (see _balance_domain)
+            busiest = None
+            busiest_nr = -1
+            for c in domain.core_ids:
+                if c == my_cid:
+                    continue
+                cs = cores[c]
+                nr = cs.rq.count + (1 if cs.current is not None else 0)
+                if nr > busiest_nr:
+                    busiest = cs
+                    busiest_nr = nr
+            if busiest is None or busiest_nr < 2:
                 continue
             if self._pull_tasks(core, busiest, 1, domain.level):
                 return

@@ -308,21 +308,42 @@ def _sanitize_stored(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Perf trajectory: run the bench suite, write/compare BENCH_*.json.
 
-    See :mod:`repro.harness.bench` and docs/performance.md.
+    Exit codes: 0 ok, 1 wall-time regression, 2 events mismatch (a
+    determinism regression -- simulated behaviour drifted from the
+    baseline, which no threshold excuses).  The events check always
+    runs (and fails) before the wall-time one.  See
+    :mod:`repro.harness.bench` and docs/performance.md.
     """
     from repro.harness import bench
 
-    results = bench.run_benches(
-        quick=args.quick,
-        rounds=args.rounds,
-        progress=lambda r: print(
-            f"  {r.name}: {r.wall_s:.3f}s, {r.events} events "
-            f"({r.events_per_sec / 1e3:.0f}k ev/s, best of {r.rounds})"
-        ),
-    )
-    payload = bench.to_payload(results, label=args.label, quick=args.quick)
-    path = bench.write_payload(payload, out_dir=args.out)
-    print(f"wrote {path}")
+    if args.events_only and args.wall_only:
+        print("repro bench: --events-only and --wall-only are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+
+    if args.profile is not None:
+        print(bench.profile_benches(quick=args.quick, top_n=args.profile),
+              end="")
+        return 0
+
+    if args.compare is not None:
+        if args.baseline is None:
+            print("repro bench: --compare requires --baseline",
+                  file=sys.stderr)
+            return 2
+        payload = bench.load_payload(args.compare)
+    else:
+        results = bench.run_benches(
+            quick=args.quick,
+            rounds=args.rounds,
+            progress=lambda r: print(
+                f"  {r.name}: {r.wall_s:.3f}s, {r.events} events "
+                f"({r.events_per_sec / 1e3:.0f}k ev/s, best of {r.rounds})"
+            ),
+        )
+        payload = bench.to_payload(results, label=args.label, quick=args.quick)
+        path = bench.write_payload(payload, out_dir=args.out)
+        print(f"wrote {path}")
 
     baseline_path = Path(args.baseline) if args.baseline else None
     if baseline_path is None:
@@ -335,6 +356,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         bench.load_payload(baseline_path), payload,
         threshold_pct=args.threshold,
     )
+
+    # determinism tripwire first: an event-count drift means simulated
+    # behaviour changed, which a wall-time threshold must never mask
+    if not args.wall_only:
+        mismatched = [c for c in comparisons if c.events_mismatch]
+        if mismatched:
+            for c in mismatched:
+                print(f"repro bench: events mismatch in {c.name}: baseline "
+                      f"{c.baseline_events}, now {c.events} (determinism "
+                      "regression)", file=sys.stderr)
+            return 2
+        print(f"events: {len(comparisons)} bench(es) match "
+              f"{baseline_path} exactly")
+    if args.events_only:
+        return 0
+
     rows = [
         [c.name, c.baseline_wall_s, c.wall_s, c.delta_pct,
          "REGRESSED" if c.regressed else "ok"]
@@ -665,6 +702,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--rounds", type=int, default=None,
         help="timing rounds per bench, best-of (default: 3)",
+    )
+    bench.add_argument(
+        "--profile", type=int, nargs="?", const=15, default=None, metavar="N",
+        help="instead of timing, run each case once under cProfile and "
+             "print the top N functions by cumulative time (default N: 15); "
+             "writes no payload",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="BENCH_JSON",
+        help="skip running: compare an existing BENCH_*.json against "
+             "--baseline (lets CI split the events and wall-time checks "
+             "without re-running the suite)",
+    )
+    bench.add_argument(
+        "--events-only", action="store_true",
+        help="only run the deterministic events check against the "
+             "baseline; skip the wall-time threshold",
+    )
+    bench.add_argument(
+        "--wall-only", action="store_true",
+        help="only run the wall-time threshold check against the "
+             "baseline; skip the events check",
     )
 
     submit = sub.add_parser(

@@ -195,11 +195,22 @@ class SpeedBalancer:
         #: optional trace of (time, core, local_speed, global_speed)
         self.speed_trace: list[tuple[int, int, float, float]] = []
         self.trace_speeds = False
+        # -- O(residents) monitoring state (built in attach) -----------
+        #: tid -> position in app.tasks, the sampling order the shared
+        #: estimator noise stream depends on
+        self._task_order: dict[int, int] = {}
+        self._alive_count: int = 0
 
     # ------------------------------------------------------------------
     def attach(self, system: "System") -> None:
         self.system = system
         self.estimator = SpeedEstimator(system, noise_sigma=self.config.noise_sigma)
+        self._task_order = {t.tid: i for i, t in enumerate(self.app.tasks)}
+        self._alive_count = 0
+        for t in self.app.tasks:
+            if t.state != TaskState.FINISHED:
+                self._alive_count += 1
+                system.on_exit(t, self._note_task_exit)
         if self.requested_cores is None:
             self.requested_cores = list(range(len(system.cores)))
         bad = [c for c in self.requested_cores if not 0 <= c < len(system.cores)]
@@ -280,6 +291,7 @@ class SpeedBalancer:
             if task.state == TaskState.SLEEPING:
                 task.pin(frozenset({dst}))
                 task.last_core = dst  # wakes on its assigned core
+                self.system.note_residency(task)
                 continue
             self.system.migrate(task, dst, forced=True, pin=True, reason="speed.initial")
 
@@ -472,18 +484,29 @@ class SpeedBalancer:
         taskstats reports them, and their near-zero interval speed is
         what makes SPEED "slightly decrease ... performance when tasks
         sleep" (Section 6.2), an emergent behaviour we preserve.
+
+        Served from the system's per-core residency index
+        (:meth:`~repro.system.System.residents_on`) in O(residents)
+        instead of scanning ``app.tasks`` per wake per core.  The
+        result is sorted back into ``app.tasks`` order: the speed
+        estimator draws measurement noise from one shared rng stream,
+        so the *sampling order* is part of the reproducible behaviour.
         """
-        out = []
-        for t in self.app.tasks:
-            if t.state == TaskState.FINISHED:
-                continue
-            where = t.cur_core if t.cur_core is not None else t.last_core
-            if where == cid:
-                out.append(t)
-        return out
+        assert self.system is not None
+        order = self._task_order
+        out = [
+            (order[tid], t)
+            for tid, t in self.system.residents_on(cid).items()
+            if tid in order
+        ]
+        out.sort()
+        return [t for _, t in out]
+
+    def _note_task_exit(self, task: Task) -> None:
+        self._alive_count -= 1
 
     def _app_alive(self) -> bool:
-        return any(t.state != TaskState.FINISHED for t in self.app.tasks)
+        return self._alive_count > 0
 
     def __repr__(self) -> str:
         return (

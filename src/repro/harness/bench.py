@@ -30,7 +30,7 @@ import re
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Optional, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.apps.multiprogram import CpuHog
 from repro.apps.workloads import AppSpec
@@ -44,6 +44,7 @@ __all__ = [
     "bench_names",
     "compare_payloads",
     "load_payload",
+    "profile_benches",
     "run_benches",
     "to_payload",
     "write_payload",
@@ -91,12 +92,14 @@ def _engine_throughput(quick: bool) -> Callable[[], int]:
 
 
 def _scenario(spec: AppSpec, balancer: str, cores: int,
-              corunner: bool = False) -> Callable[[], int]:
+              corunner: bool = False, machine: str = "tigerton",
+              trace: bool = False) -> Callable[[], int]:
     def round() -> int:
         corunners = [lambda s: CpuHog(s, core=0)] if corunner else ()
         _, system = run_app(
-            presets.tigerton, spec, balancer=balancer, cores=cores,
+            getattr(presets, machine)(), spec, balancer=balancer, cores=cores,
             seed=1, corunner_factories=corunners, return_system=True,
+            trace=trace,
         )
         return system.engine.dispatched
 
@@ -124,12 +127,48 @@ def _multiprogrammed_hog(quick: bool) -> Callable[[], int]:
     return _scenario(spec, "speed", 8, corunner=True)
 
 
+def _yield_heavy_barriers(quick: bool) -> Callable[[], int]:
+    """Oversubscribed 1 ms-barrier yield loop: the sched_yield path.
+
+    Twelve yielding threads on eight cores hit a barrier every
+    millisecond, so nearly every dispatch exercises the yield
+    re-insertion (max_vruntime) and slice-length (total_weight)
+    aggregates this suite guards.
+    """
+    spec = AppSpec(bench="cg.B", n_threads=12, wait="yield",
+                   total_compute_us=30_000 if quick else 150_000,
+                   barrier_period_us=1_000)
+    return _scenario(spec, "speed", 8)
+
+
+def _numa_barcelona(quick: bool) -> Callable[[], int]:
+    """NUMA shape: sp.A on Barcelona, node-scoped memory contention.
+
+    Exercises the per-node mem-intensity aggregate (Barcelona's
+    contention scope is the NUMA node) plus NUMA-aware pinning and the
+    balancer's node fences.
+    """
+    spec = AppSpec(bench="sp.A", n_threads=12, wait="yield",
+                   total_compute_us=60_000 if quick else 300_000)
+    return _scenario(spec, "speed", 8, machine="barcelona")
+
+
+def _traced_run(quick: bool) -> Callable[[], int]:
+    """A fully traced run: the columnar recorder on the charge path."""
+    spec = AppSpec(bench="cg.B", n_threads=16, wait="yield",
+                   total_compute_us=50_000 if quick else 200_000)
+    return _scenario(spec, "speed", 12, trace=True)
+
+
 #: name -> case builder; insertion order is report order
 CASES: dict[str, Callable[[bool], Callable[[], int]]] = {
     "engine_throughput": _engine_throughput,
     "ep_dedicated": _ep_dedicated,
     "fine_grained_barriers": _fine_grained_barriers,
     "multiprogrammed_hog": _multiprogrammed_hog,
+    "yield_heavy_barriers": _yield_heavy_barriers,
+    "numa_barcelona": _numa_barcelona,
+    "traced_run": _traced_run,
 }
 
 
@@ -164,6 +203,49 @@ def run_benches(
         if progress is not None:
             progress(result)
     return results
+
+
+# ----------------------------------------------------------------------
+# profiling: repro bench --profile
+# ----------------------------------------------------------------------
+def profile_benches(
+    quick: bool = False,
+    top_n: int = 15,
+    names: Optional[Sequence[str]] = None,
+) -> str:
+    """Run each case once under cProfile; return a per-case report.
+
+    Each case gets its own profile (one warm-up-free round) and a
+    ``pstats`` table of the ``top_n`` functions by cumulative time.
+    Wall times under the profiler are not comparable to ``run_benches``
+    numbers -- instrumentation overhead is real -- so this path never
+    writes a payload; it exists to show *where* a case spends its time.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    selected = list(CASES) if names is None else list(names)
+    unknown = [n for n in selected if n not in CASES]
+    if unknown:
+        raise ValueError(
+            f"unknown bench case(s) {unknown}: choose from {list(CASES)}"
+        )
+    sections = []
+    for name in selected:
+        round_fn = CASES[name](quick)
+        prof = cProfile.Profile()
+        prof.enable()
+        events = round_fn()
+        prof.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(prof, stream=buf)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(top_n)
+        sections.append(
+            f"== {name} ({'quick' if quick else 'full'}, "
+            f"{events} events) ==\n{buf.getvalue().rstrip()}"
+        )
+    return "\n\n".join(sections) + "\n"
 
 
 # ----------------------------------------------------------------------
@@ -206,7 +288,13 @@ def load_payload(path: Union[str, Path]) -> dict:
 
 @dataclass
 class Comparison:
-    """Wall-time delta of one bench between two payloads."""
+    """Delta of one bench between two payloads.
+
+    Wall time is hardware noise territory and gets a tolerance
+    threshold; the dispatched-event count is deterministic, so *any*
+    ``events_mismatch`` means simulated behaviour changed between the
+    two checkouts -- a determinism regression, not a perf one.
+    """
 
     name: str
     baseline_wall_s: float
@@ -214,15 +302,19 @@ class Comparison:
     #: percent change; positive = slower than the baseline
     delta_pct: float
     regressed: bool
+    baseline_events: int
+    events: int
+    events_mismatch: bool
 
 
 def compare_payloads(
     baseline: dict, current: dict, threshold_pct: float = 25.0
 ) -> list[Comparison]:
-    """Per-bench wall-time regressions of ``current`` vs ``baseline``.
+    """Per-bench wall-time and event-count deltas vs ``baseline``.
 
     A bench regresses when it is more than ``threshold_pct`` percent
-    slower than the baseline.  Benches present in only one payload are
+    slower than the baseline; it mismatches when its dispatched-event
+    count differs at all.  Benches present in only one payload are
     skipped (new benches have no trajectory yet).  Comparing a quick
     run against a full baseline is refused: their workloads differ.
     """
@@ -244,5 +336,8 @@ def compare_payloads(
             wall_s=new,
             delta_pct=delta_pct,
             regressed=delta_pct > threshold_pct,
+            baseline_events=base["events"],
+            events=cur["events"],
+            events_mismatch=base["events"] != cur["events"],
         ))
     return out

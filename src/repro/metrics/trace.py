@@ -15,10 +15,27 @@ core  1 BBBBBBBBBBAAAAAA....
 Capital letters mark compute, lowercase synchronization waiting, ``.``
 idle time.
 
-The recorder is bounded: past ``limit`` entries it drops new records
-and counts them in :attr:`TraceRecorder.dropped`.  A truncated trace is
-**not** a representative sample -- everything after the cut-off is
-missing -- so the analysis helpers refuse to compute over one (raising
+Storage layout
+--------------
+The recorder is *columnar*: segments and migrations live in parallel
+``array``-backed columns (64-bit timestamps/tids, 32-bit ids) with
+task names, kinds and reasons interned into small string tables.  The
+hot path -- one :meth:`TraceRecorder.record` per charged interval --
+appends six scalars and allocates nothing; :class:`Segment` /
+:class:`MigrationEvent` dataclasses are materialized lazily when the
+``segments`` / ``migrations`` sequence views are indexed.  The
+analysis helpers in this module and the sanitizer's digest read the
+columns directly.
+
+Bounds
+------
+The recorder is bounded: past ``limit`` segments it drops new segment
+records and counts them in :attr:`TraceRecorder.dropped`; migrations
+have their own cap, ``migration_limit`` (defaulting to ``limit``),
+counted in :attr:`TraceRecorder.migrations_dropped`.  A trace with
+*either* counter non-zero is truncated -- not a representative sample;
+everything of that record kind after its cut-off is missing -- so the
+analysis helpers refuse to compute over one (raising
 :class:`TraceTruncatedError`) unless explicitly told otherwise, and the
 schedule sanitizer (:mod:`repro.analysis.sanitizer`) reports truncation
 as a finding of its own.
@@ -26,8 +43,10 @@ as a finding of its own.
 
 from __future__ import annotations
 
+from array import array
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Iterator, Optional
 
 __all__ = [
     "Segment",
@@ -45,10 +64,11 @@ class TraceTruncatedError(ValueError):
 
     Raised by :func:`core_utilization` / :func:`task_share` /
     :func:`ascii_gantt` when the recorder dropped records
-    (``trace.dropped > 0``): utilization and share values computed from
-    a prefix of the run would silently read as if cores went idle and
-    tasks stopped at the cut-off.  Pass ``allow_truncated=True`` to
-    compute over the recorded prefix anyway.
+    (``trace.dropped > 0`` or ``trace.migrations_dropped > 0``):
+    utilization and share values computed from a prefix of the run
+    would silently read as if cores went idle and tasks stopped at the
+    cut-off.  Pass ``allow_truncated=True`` to compute over the
+    recorded prefix anyway.
     """
 
 
@@ -84,29 +104,160 @@ class MigrationEvent:
     reason: str
 
 
+class _LazyView(Sequence):
+    """Columnar records viewed as a sequence of materialized objects.
+
+    Supports everything the old plain-list attributes did -- ``len``,
+    indexing (negative and slices), iteration, ``==`` against lists --
+    while the data stays in the recorder's columns; each access builds
+    the dataclass on the fly.
+    """
+
+    __slots__ = ("_rec",)
+
+    def __init__(self, rec: "TraceRecorder") -> None:
+        self._rec = rec
+
+    def _materialize(self, i: int):
+        raise NotImplementedError
+
+    def _count(self) -> int:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return self._count()
+
+    def __getitem__(self, i):
+        n = self._count()
+        if isinstance(i, slice):
+            return [self._materialize(j) for j in range(*i.indices(n))]
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError("trace view index out of range")
+        return self._materialize(i)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (list, tuple, _LazyView)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return repr(list(self))
+
+
+class _SegmentsView(_LazyView):
+    __slots__ = ()
+
+    def _count(self) -> int:
+        return len(self._rec._s_tid)
+
+    def _materialize(self, i: int) -> Segment:
+        r = self._rec
+        return Segment(
+            r._s_tid[i],
+            r._strings[r._s_name[i]],
+            r._s_core[i],
+            r._s_start[i],
+            r._s_end[i],
+            r._strings[r._s_kind[i]],
+        )
+
+
+class _MigrationsView(_LazyView):
+    __slots__ = ()
+
+    def _count(self) -> int:
+        return len(self._rec._m_time)
+
+    def _materialize(self, i: int) -> MigrationEvent:
+        r = self._rec
+        src = r._m_src[i]
+        return MigrationEvent(
+            r._m_time[i],
+            r._m_tid[i],
+            r._strings[r._m_name[i]],
+            None if src < 0 else src,
+            r._m_dst[i],
+            bool(r._m_forced[i]),
+            r._strings[r._m_reason[i]],
+        )
+
+
 class TraceRecorder:
     """Collects execution segments and migration events (bounded).
 
-    Past ``limit`` records of either kind, new entries are dropped and
-    counted in :attr:`dropped` / :attr:`migrations_dropped`; a recorder
-    with either counter non-zero is :attr:`truncated` and the analysis
-    helpers in this module refuse to treat it as a complete history.
+    Past ``limit`` segment records new segments are dropped and counted
+    in :attr:`dropped`; past ``migration_limit`` migration records
+    (default: ``limit``) new migrations are dropped and counted in
+    :attr:`migrations_dropped`.  A recorder with either counter
+    non-zero is :attr:`truncated` and the analysis helpers in this
+    module refuse to treat it as a complete history.
+
+    Storage is columnar (see the module docstring): ``segments`` and
+    ``migrations`` are lazy sequence views over parallel arrays.
+    Assigning a list to either (as the export round-trip loaders do)
+    reloads the columns from it.
     """
 
-    def __init__(self, limit: int = 2_000_000):
-        self.segments: list[Segment] = []
-        self.migrations: list[MigrationEvent] = []
+    def __init__(self, limit: int = 2_000_000, migration_limit: Optional[int] = None):
         self.limit = limit
+        self.migration_limit = limit if migration_limit is None else migration_limit
         self.dropped = 0
         self.migrations_dropped = 0
+        #: interned string table shared by names, kinds and reasons
+        self._strings: list[str] = []
+        self._string_id: dict[str, int] = {}
+        # segment columns
+        self._s_tid = array("q")
+        self._s_name = array("i")
+        self._s_core = array("i")
+        self._s_start = array("q")
+        self._s_end = array("q")
+        self._s_kind = array("i")
+        # migration columns (src -1 encodes None)
+        self._m_time = array("q")
+        self._m_tid = array("q")
+        self._m_name = array("i")
+        self._m_src = array("i")
+        self._m_dst = array("i")
+        self._m_forced = array("b")
+        self._m_reason = array("i")
+        # maintained span over segments
+        self._span_lo = 0
+        self._span_hi = 0
+
+    # ------------------------------------------------------------------
+    # recording (the hot path: scalar appends only)
+    # ------------------------------------------------------------------
+    def _intern(self, s: str) -> int:
+        sid = self._string_id.get(s)
+        if sid is None:
+            sid = self._string_id[s] = len(self._strings)
+            self._strings.append(s)
+        return sid
 
     def record(self, tid: int, name: str, core: int, start: int, end: int, kind: str) -> None:
         if end <= start:
             return
-        if len(self.segments) >= self.limit:
+        n = len(self._s_tid)
+        if n >= self.limit:
             self.dropped += 1
             return
-        self.segments.append(Segment(tid, name, core, start, end, kind))
+        self._s_tid.append(tid)
+        self._s_name.append(self._intern(name))
+        self._s_core.append(core)
+        self._s_start.append(start)
+        self._s_end.append(end)
+        self._s_kind.append(self._intern(kind))
+        if n == 0 or start < self._span_lo:
+            self._span_lo = start
+        if end > self._span_hi:
+            self._span_hi = end
 
     def record_migration(
         self,
@@ -118,38 +269,116 @@ class TraceRecorder:
         forced: bool,
         reason: str,
     ) -> None:
-        if len(self.migrations) >= self.limit:
+        if len(self._m_time) >= self.migration_limit:
             self.migrations_dropped += 1
             return
-        self.migrations.append(
-            MigrationEvent(time, tid, task_name, src, dst, forced, reason)
-        )
+        self._m_time.append(time)
+        self._m_tid.append(tid)
+        self._m_name.append(self._intern(task_name))
+        self._m_src.append(-1 if src is None else src)
+        self._m_dst.append(dst)
+        self._m_forced.append(1 if forced else 0)
+        self._m_reason.append(self._intern(reason))
+
+    # ------------------------------------------------------------------
+    # record access
+    # ------------------------------------------------------------------
+    @property
+    def segments(self) -> _SegmentsView:
+        """Sequence view materializing :class:`Segment` lazily."""
+        return _SegmentsView(self)
+
+    @segments.setter
+    def segments(self, value: Iterable[Segment]) -> None:
+        """Reload the segment columns (export round-trip loaders)."""
+        for col in (
+            self._s_tid, self._s_name, self._s_core,
+            self._s_start, self._s_end, self._s_kind,
+        ):
+            del col[:]
+        self._span_lo = self._span_hi = 0
+        for s in value:
+            n = len(self._s_tid)
+            self._s_tid.append(s.tid)
+            self._s_name.append(self._intern(s.task_name))
+            self._s_core.append(s.core)
+            self._s_start.append(s.start)
+            self._s_end.append(s.end)
+            self._s_kind.append(self._intern(s.kind))
+            if n == 0 or s.start < self._span_lo:
+                self._span_lo = s.start
+            if s.end > self._span_hi:
+                self._span_hi = s.end
 
     @property
+    def migrations(self) -> _MigrationsView:
+        """Sequence view materializing :class:`MigrationEvent` lazily."""
+        return _MigrationsView(self)
+
+    @migrations.setter
+    def migrations(self, value: Iterable[MigrationEvent]) -> None:
+        """Reload the migration columns (export round-trip loaders)."""
+        for col in (
+            self._m_time, self._m_tid, self._m_name,
+            self._m_src, self._m_dst, self._m_forced, self._m_reason,
+        ):
+            del col[:]
+        for m in value:
+            self._m_time.append(m.time)
+            self._m_tid.append(m.tid)
+            self._m_name.append(self._intern(m.task_name))
+            self._m_src.append(-1 if m.src is None else m.src)
+            self._m_dst.append(m.dst)
+            self._m_forced.append(1 if m.forced else 0)
+            self._m_reason.append(self._intern(m.reason))
+
+    def iter_segment_tuples(self) -> Iterator[tuple[int, str, int, int, int, str]]:
+        """Yield ``(tid, name, core, start, end, kind)`` without
+        materializing :class:`Segment` objects (column readers)."""
+        strings = self._strings
+        for tid, nid, core, start, end, kid in zip(
+            self._s_tid, self._s_name, self._s_core,
+            self._s_start, self._s_end, self._s_kind,
+        ):
+            yield tid, strings[nid], core, start, end, strings[kid]
+
+    def iter_migration_tuples(
+        self,
+    ) -> Iterator[tuple[int, int, str, Optional[int], int, bool, str]]:
+        """Yield ``(time, tid, name, src, dst, forced, reason)`` without
+        materializing :class:`MigrationEvent` objects."""
+        strings = self._strings
+        for time, tid, nid, src, dst, forced, rid in zip(
+            self._m_time, self._m_tid, self._m_name,
+            self._m_src, self._m_dst, self._m_forced, self._m_reason,
+        ):
+            yield time, tid, strings[nid], (None if src < 0 else src), dst, bool(forced), strings[rid]
+
+    # ------------------------------------------------------------------
+    @property
     def truncated(self) -> bool:
-        """True when any record was dropped beyond the cap."""
+        """True when any record was dropped beyond its cap."""
         return self.dropped > 0 or self.migrations_dropped > 0
 
     @property
     def span(self) -> tuple[int, int]:
-        """(first start, last end) over all segments."""
-        if not self.segments:
+        """(first start, last end) over all segments (maintained, O(1))."""
+        if not self._s_tid:
             return (0, 0)
-        return (
-            min(s.start for s in self.segments),
-            max(s.end for s in self.segments),
-        )
+        return (self._span_lo, self._span_hi)
 
 
 def _require_complete(trace: TraceRecorder, allow_truncated: bool, what: str) -> None:
     if allow_truncated or not trace.truncated:
         return
     raise TraceTruncatedError(
-        f"{what} over a truncated trace ({trace.dropped} segments and "
+        f"{what} over a truncated trace ({trace.dropped} segments dropped "
+        f"beyond the {trace.limit}-segment limit and "
         f"{trace.migrations_dropped} migrations dropped beyond the "
-        f"{trace.limit}-record limit); the result would silently exclude "
-        "everything after the cut-off.  Raise the recorder limit, or pass "
-        "allow_truncated=True to compute over the recorded prefix."
+        f"{trace.migration_limit}-migration limit); the result would "
+        "silently exclude everything after the cut-off.  Raise the "
+        "recorder limits, or pass allow_truncated=True to compute over "
+        "the recorded prefix."
     )
 
 
@@ -172,10 +401,11 @@ def core_utilization(
     if end <= start:
         return [0.0] * n_cores
     busy = [0] * n_cores
-    for s in trace.segments:
-        lo, hi = max(s.start, start), min(s.end, end)
+    for core, s_start, s_end in zip(trace._s_core, trace._s_start, trace._s_end):
+        lo = s_start if s_start > start else start
+        hi = s_end if s_end < end else end
         if hi > lo:
-            busy[s.core] += hi - lo
+            busy[core] += hi - lo
     return [b / (end - start) for b in busy]
 
 
@@ -195,13 +425,19 @@ def task_share(
     _require_complete(trace, allow_truncated, "task_share")
     if end <= start:
         raise ValueError("empty window")
+    kid = -1
+    if kind is not None:
+        kid = trace._string_id.get(kind, -2)  # -2: kind never recorded
     got = 0
-    for s in trace.segments:
-        if s.tid != tid:
+    for s_tid, s_start, s_end, s_kid in zip(
+        trace._s_tid, trace._s_start, trace._s_end, trace._s_kind
+    ):
+        if s_tid != tid:
             continue
-        if kind is not None and s.kind != kind:
+        if kind is not None and s_kid != kid:
             continue
-        lo, hi = max(s.start, start), min(s.end, end)
+        lo = s_start if s_start > start else start
+        hi = s_end if s_end < end else end
         if hi > lo:
             got += hi - lo
     return got / (end - start)
@@ -231,23 +467,26 @@ def ascii_gantt(
     cell = (end - start) / width
     # stable task -> letter mapping in first-seen order
     letters: dict[int, str] = {}
-    for s in trace.segments:
-        if s.tid not in letters:
-            letters[s.tid] = chr(ord("A") + len(letters) % 26)
+    for tid in trace._s_tid:
+        if tid not in letters:
+            letters[tid] = chr(ord("A") + len(letters) % 26)
+    wait_kid = trace._string_id.get("wait", -1)
     grid = [[(".", 0.0)] * width for _ in range(n_cores)]
-    for s in trace.segments:
-        lo, hi = max(s.start, start), min(s.end, end)
+    for s_tid, s_core, s_start, s_end, s_kid in zip(
+        trace._s_tid, trace._s_core, trace._s_start, trace._s_end, trace._s_kind
+    ):
+        lo, hi = max(s_start, start), min(s_end, end)
         if hi <= lo:
             continue
         c0 = int((lo - start) / cell)
         c1 = min(width - 1, int((hi - start - 1) / cell))
-        ch = letters[s.tid]
-        if s.kind == "wait":
+        ch = letters[s_tid]
+        if s_kid == wait_kid:
             ch = ch.lower()
         for c in range(c0, c1 + 1):
             seg_cover = min(hi, start + (c + 1) * cell) - max(lo, start + c * cell)
-            if seg_cover > grid[s.core][c][1]:
-                grid[s.core][c] = (ch, seg_cover)
+            if seg_cover > grid[s_core][c][1]:
+                grid[s_core][c] = (ch, seg_cover)
     lines = [
         f"core {cid:2d} " + "".join(ch for ch, _ in row)
         for cid, row in enumerate(grid)

@@ -32,6 +32,7 @@ flip, migration) forces a resched, so captured-rate charging is exact.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
@@ -87,6 +88,38 @@ class CoreSim:
         #: when co-runners are queued (a sched_yield loop hands over
         #: almost immediately; this is the simulation granularity)
         self.yield_check_us: int = system.yield_check_us
+        # -- memory-contention index wiring (see System._mem_scope_busy):
+        # cores of one contention scope share a sorted (cid, intensity)
+        # list; a core joins it while running a positive-intensity task
+        self._mem_track: bool = system.machine.mem_contention_alpha > 0.0
+        scope_key = (
+            hw.numa_node if system.machine.mem_contention_scope == "node" else -1
+        )
+        self._mem_busy: list[tuple[int, float]] = system._mem_scope_busy.setdefault(
+            scope_key, []
+        )
+        # -- dispatch-path caches: machine/topology facts are immutable
+        # for the lifetime of a System, so the per-dispatch rate and
+        # slice computations read locals instead of chasing attributes.
+        # clock_factor is the one dynamic member: System.set_clock_factor
+        # writes this cache alongside the hw record.
+        machine = system.machine
+        self._clock_factor: float = hw.clock_factor
+        self._numa_node = hw.numa_node
+        self._numa: bool = machine.numa
+        self._numa_remote_slowdown: float = machine.numa_remote_slowdown
+        self._smt_derate: float = machine.smt_derate
+        self._mem_alpha: float = machine.mem_contention_alpha
+        #: SMT affects the rate only with a sibling and a derate that is
+        #: not exactly 1.0 (multiplying by 1.0 is an exact float no-op,
+        #: so skipping it is bit-identical)
+        self._smt_active: bool = (
+            hw.smt_sibling is not None and machine.smt_derate != 1.0
+        )
+        #: lazily resolved sibling CoreSim (cores are built in cid order,
+        #: so the sibling may not exist yet during __init__)
+        self._sib_core: Optional["CoreSim"] = None
+        self._event_label: str = f"core{self.cid}"
 
     # ------------------------------------------------------------------
     # queue state
@@ -99,11 +132,11 @@ class CoreSim:
         note that spinning/yielding waiters are counted while sleepers
         are not, exactly the distinction the paper exploits.
         """
-        return len(self.rq) + (1 if self.current is not None else 0)
+        return self.rq.count + (1 if self.current is not None else 0)
 
     @property
     def is_idle(self) -> bool:
-        return self.current is None and len(self.rq) == 0
+        return self.current is None and self.rq.count == 0
 
     def runnable_tasks(self) -> list[Task]:
         """All runnable tasks on this core, current first."""
@@ -112,8 +145,10 @@ class CoreSim:
         return out
 
     def sibling(self) -> Optional["CoreSim"]:
-        sib = self.hw.smt_sibling
-        return self.system.cores[sib] if sib is not None else None
+        sib = self._sib_core
+        if sib is None and self.hw.smt_sibling is not None:
+            sib = self._sib_core = self.system.cores[self.hw.smt_sibling]
+        return sib
 
     # ------------------------------------------------------------------
     # entry points used by System / balancers / barriers
@@ -127,6 +162,7 @@ class CoreSim:
         """
         task.cur_core = self.cid
         task.state = TaskState.RUNNABLE
+        self.system.note_residency(task)
         self.rq.push(task)
         if self._in_resched:
             return  # the active dispatch loop will see the new task
@@ -150,6 +186,7 @@ class CoreSim:
         else:
             raise ValueError(f"{task} not queued on core {self.cid}")
         task.cur_core = None
+        self.system.note_residency(task)
 
     def interrupt(self) -> None:
         """Charge and deschedule the running task immediately.
@@ -163,6 +200,7 @@ class CoreSim:
         self._charge_current()
         task = self.current
         self.current = None
+        self._mem_note_off(task)
         task.state = TaskState.RUNNABLE
         task.last_descheduled_at = self.engine.now
         task.last_core = self.cid
@@ -205,16 +243,19 @@ class CoreSim:
         if dt <= 0:
             return
         task.exec_us += dt
-        if self.system.trace is not None:
-            self.system.trace.record(
+        waiting = task.waiting_on is not None  # is_waiting, sans property hop
+        system = self.system
+        if system.trace is not None:
+            system.trace.record(
                 task.tid, task.name, self.cid, now - dt, now,
-                "wait" if task.is_waiting else "run",
+                "wait" if waiting else "run",
             )
         task.vruntime += dt * (NICE_0_WEIGHT / task.weight)
         self.rq.note_current_vruntime(task.vruntime)
-        self.stats.busy_us += dt
-        if task.is_waiting:
-            self.stats.spin_us += dt
+        stats = self.stats
+        stats.busy_us += dt
+        if waiting:
+            stats.spin_us += dt
         else:
             rate = self._rate_at_dispatch
             debt_paid = min(float(dt), task.migration_debt_us)
@@ -222,7 +263,14 @@ class CoreSim:
             productive = dt - debt_paid
             task.work_remaining -= productive * rate
             task.compute_us += int(productive)
-        self.system.on_task_charged(self, task, dt)
+        # inlined System.on_task_charged: the specialized hook skips the
+        # base-class no-op on_charge most kernel balancers inherit
+        if system._kb_on_charge is not None:
+            system._kb_on_charge(self, task, dt)
+        observers = system.charge_observers
+        if observers:
+            for observer in observers:
+                observer(self, task, dt)
 
     # ------------------------------------------------------------------
     # dispatch machinery
@@ -232,6 +280,7 @@ class CoreSim:
         if task is None:
             return
         self.current = None
+        self._mem_note_off(task)
         task.last_descheduled_at = self.engine.now
         task.last_core = self.cid
         self.stats.context_switches += 1
@@ -252,12 +301,20 @@ class CoreSim:
                 task = self.rq.pop_min()
                 if task is None:
                     self._go_idle()
-                    if len(self.rq) == 0:
+                    if self.rq.count == 0:
                         return  # genuinely idle
                     continue  # idle balance pulled something
                 if task.throttled:
                     self.throttled.append(task)
                     continue
+                if task.waiting_on is not None or (
+                    not task.needs_advance
+                    and (
+                        task.work_remaining > _WORK_EPS
+                        or task.migration_debt_us > _WORK_EPS
+                    )
+                ):
+                    break  # _prepare's immediate-True cases, inlined
                 if self._prepare(task):
                     break
                 # task slept or exited during prepare; pick again
@@ -272,7 +329,7 @@ class CoreSim:
         """
         now = self.engine.now
         while True:
-            if task.is_waiting:
+            if task.waiting_on is not None:
                 if task.wait_mode == WaitMode.SLEEP:  # pragma: no cover - defensive
                     raise AssertionError("sleeping waiter found on a run queue")
                 return True  # spin or yield on CPU
@@ -295,6 +352,7 @@ class CoreSim:
                     continue  # barrier opened; on to the next action
                 if task.state == TaskState.SLEEPING:
                     task.cur_core = None
+                    self.system.note_residency(task)
                     return False  # sleep-mode wait
                 return True  # spin/yield-mode wait
             if action.type == ActionType.SLEEP:
@@ -310,6 +368,7 @@ class CoreSim:
         task.state = TaskState.RUNNING
         task.cur_core = self.cid
         self.current = task
+        self._mem_note_on(task)
         self.dispatch_started_at = now
         self.stats.dispatches += 1
         self._rate_at_dispatch = self.effective_rate(task)
@@ -317,18 +376,36 @@ class CoreSim:
         self._gen += 1
         gen = self._gen
         self._event = self.engine.schedule(
-            max(1, run_for), lambda: self._on_core_event(gen), f"core{self.cid}"
+            run_for if run_for > 1 else 1,
+            lambda: self._on_core_event(gen),
+            self._event_label,
         )
-        self._notify_sibling_rate_change()
+        if self._smt_active:
+            self._notify_sibling_rate_change()
 
     def _run_duration(self, task: Task) -> int:
         """How long this dispatch lasts, absent external interruption."""
-        nr = self.nr_running
-        slice_us = self.params.slice_for(
-            nr, task.weight, self.rq.total_weight() + task.weight
-        )
-        if task.is_waiting:
-            if task.wait_mode == WaitMode.YIELD and len(self.rq) > 0:
+        # only called from _start, where ``task`` is already current:
+        # nr_running is therefore len(rq) + 1 without the property hop
+        nr = self.rq.count + 1
+        weight = task.weight
+        total_weight = self.rq.total_weight() + weight
+        params = self.params
+        if type(params) is CfsParams:
+            # inlined CfsParams.slice_for (sched_slice), term for term;
+            # nr >= 1 and total_weight >= weight > 0 hold here, so the
+            # max(1, nr) and zero-weight fallbacks cannot fire
+            scaled = nr * params.min_granularity
+            period = params.target_latency
+            if scaled > period:
+                period = scaled
+            slice_us = int(period * weight / total_weight)
+            if slice_us < params.min_granularity:
+                slice_us = params.min_granularity
+        else:
+            slice_us = params.slice_for(nr, weight, total_weight)
+        if task.waiting_on is not None:
+            if task.wait_mode == WaitMode.YIELD and self.rq.count > 0:
                 # yield to the queued co-runner almost immediately
                 run_for = min(slice_us, self.yield_check_us)
             else:  # SPIN, or a yielder alone on the queue (yield is a
@@ -347,15 +424,17 @@ class CoreSim:
         task = self.current
         self._charge_current()
         now = self.engine.now
-        if task.is_waiting:
+        if task.waiting_on is not None:
             if task.spin_deadline is not None and now >= task.spin_deadline:
                 # KMP_BLOCKTIME expired: the waiter goes to sleep.
                 barrier = task.waiting_on
                 assert barrier is not None
                 self.current = None
+                self._mem_note_off(task)
                 task.last_descheduled_at = now
                 task.last_core = self.cid
                 barrier.spin_timeout(task, now)
+                self.system.note_residency(task)
                 self._dispatch_next()
                 return
             if task.wait_mode == WaitMode.YIELD:
@@ -363,12 +442,62 @@ class CoreSim:
                 task.vruntime = (
                     max(task.vruntime, self.rq.max_vruntime()) + self.params.yield_penalty
                 )
-            self.resched()
+            self._redispatch(task)
             return
         if task.work_remaining <= _WORK_EPS and task.migration_debt_us <= _WORK_EPS:
             task.work_remaining = 0.0
             task.needs_advance = True
-        self.resched()
+        self._redispatch(task)
+
+    def _redispatch(self, task: Task) -> None:
+        """Slice expiry with ``task`` already charged: pick next runner.
+
+        Fast path: when ``task`` has the core to itself (empty queue,
+        not throttled, still has on-CPU work or a spin/yield wait), the
+        requeue/pop cycle is a guaranteed identity -- push and pop_min
+        of the lone entry restore the queue and cannot change
+        ``min_vruntime`` beyond what :meth:`_charge_current`'s
+        ``note_current_vruntime`` already did, and the mem-index
+        remove+insort of the same ``(cid, intensity)`` pair rebuilds the
+        same list -- so the dispatch restarts in place.  Every counter
+        the slow path touches (context switches, dispatches, the
+        rate-at-dispatch resample, the engine event) is replicated,
+        keeping stats and digests bit-identical.
+        """
+        if (
+            self.rq.count == 0
+            and not task.throttled
+            and task.state == TaskState.RUNNING
+            and (
+                task.waiting_on is not None
+                or (
+                    not task.needs_advance
+                    and (
+                        task.work_remaining > _WORK_EPS
+                        or task.migration_debt_us > _WORK_EPS
+                    )
+                )
+            )
+        ):
+            now = self.engine.now
+            task.last_descheduled_at = now
+            task.last_core = self.cid
+            self.stats.context_switches += 1
+            self.stats.dispatches += 1
+            self._rate_at_dispatch = self.effective_rate(task)
+            run_for = self._run_duration(task)
+            self._gen += 1
+            gen = self._gen
+            self._event = self.engine.schedule(
+                run_for if run_for > 1 else 1,
+                lambda: self._on_core_event(gen),
+                self._event_label,
+            )
+            if self._smt_active:
+                self._notify_sibling_rate_change()
+            return
+        self._put_back_current()
+        self._dispatch_next()
 
     # ------------------------------------------------------------------
     # helpers
@@ -381,30 +510,38 @@ class CoreSim:
         not retroactively slow this slice; slices are ms-scale so the
         error is small, and the approximation is noted in DESIGN.md).
         """
-        rate = self.hw.clock_factor
-        sib = self.sibling()
-        if sib is not None and sib.current is not None:
-            rate *= self.system.machine.smt_derate
-        if (
-            self.system.machine.numa
-            and task.home_node is not None
-            and task.home_node != self.hw.numa_node
-        ):
-            rate /= self.system.machine.numa_remote_slowdown
-        machine = self.system.machine
-        if machine.mem_contention_alpha > 0.0 and task.mem_intensity > 0.0:
+        rate = self._clock_factor
+        if self._smt_active:
+            sib = self.sibling()
+            if sib is not None and sib.current is not None:
+                rate *= self._smt_derate
+        home = task.home_node
+        if self._numa and home is not None and home != self._numa_node:
+            rate /= self._numa_remote_slowdown
+        if self._mem_track and task.mem_intensity > 0.0:
+            # Maintained scope index instead of an all-core sweep.  The
+            # index holds only positive intensities, sorted by cid, so
+            # this sum adds the same floats in the same order as the
+            # old core-order sweep (zeros add exactly), bit-identically.
             co = 0.0
-            for other in self.system.cores:
-                if other is self or other.current is None:
-                    continue
-                if (
-                    machine.mem_contention_scope == "node"
-                    and other.hw.numa_node != self.hw.numa_node
-                ):
-                    continue
-                co += other.current.mem_intensity
-            rate /= 1.0 + task.mem_intensity * machine.mem_contention_alpha * co
+            my_cid = self.cid
+            for cid, intensity in self._mem_busy:
+                if cid != my_cid:
+                    co += intensity
+            rate /= 1.0 + task.mem_intensity * self._mem_alpha * co
         return rate
+
+    def _mem_note_on(self, task: Task) -> None:
+        """The core started running ``task``: join the contention scope."""
+        if self._mem_track and task.mem_intensity > 0.0:
+            insort(self._mem_busy, (self.cid, task.mem_intensity))
+
+    def _mem_note_off(self, task: Task) -> None:
+        """``task`` (the previous ``current``) left the core."""
+        if self._mem_track and task.mem_intensity > 0.0:
+            # one entry per cid, and intensities are positive, so the
+            # insertion point of (cid, 0.0) is exactly our entry
+            del self._mem_busy[bisect_left(self._mem_busy, (self.cid, 0.0))]
 
     def _should_preempt(self, woken: Task) -> bool:
         cur = self.current
@@ -420,9 +557,9 @@ class CoreSim:
         self.stats.idle_balance_calls += 1
         for cb in list(self.idle_callbacks):
             cb(self)
-            if len(self.rq) > 0:
+            if self.rq.count > 0:
                 break
-        if len(self.rq) == 0:
+        if self.rq.count == 0:
             self._notify_sibling_rate_change()
 
     def _cancel_event(self) -> None:
@@ -433,7 +570,7 @@ class CoreSim:
 
     def _notify_sibling_rate_change(self) -> None:
         """SMT siblings' execution rates depend on our occupancy."""
-        if self.hw.smt_sibling is None or self.system.machine.smt_derate >= 1.0:
+        if not self._smt_active or self._smt_derate >= 1.0:
             return
         sib = self.sibling()
         if sib is None or sib.current is None or sib._in_resched:

@@ -9,6 +9,18 @@ the balancers) marks entries dead and ignores them on pop.
 arrays, which is the substrate the DWRR prototype (Linux 2.6.22) was
 built on -- the paper could only evaluate DWRR on the 2.6.22 O(1)
 kernel because the 2.6.24 CFS port did not boot.
+
+Aggregate maintenance
+---------------------
+``total_weight`` and ``max_vruntime`` are *maintained* on push/pop/
+remove instead of recomputed by scanning the queue: ``slice_for`` needs
+the total weight on every dispatch and the ``sched_yield`` path needs
+the rightmost vruntime on every yield, so recomputation made both
+O(queue length) per event.  Weights are integers, so the running total
+is exact; the maximum is served by a second lazy-deletion heap keyed by
+negated vruntime (vruntime is immutable while a task is queued --
+``requeue`` re-inserts -- so a heap entry can never go stale in value,
+only in liveness).
 """
 
 from __future__ import annotations
@@ -24,6 +36,11 @@ __all__ = ["CfsRunQueue", "O1RunQueue", "RoundRobinQueue"]
 
 _entry_counter = itertools.count()
 
+#: rebuild a lazy-deletion heap when stale entries outnumber live ones
+#: by this factor (plus a small constant so tiny queues never compact)
+_COMPACT_FACTOR = 4
+_COMPACT_MIN = 64
+
 
 class CfsRunQueue:
     """Priority queue of runnable (not running) tasks, keyed by vruntime.
@@ -35,11 +52,17 @@ class CfsRunQueue:
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Task]] = []
         self._live: dict[int, tuple[float, int, Task]] = {}  # tid -> entry
+        #: max-side lazy heap: (-vruntime, -counter, min-heap entry)
+        self._max_heap: list[tuple[float, int, tuple[float, int, Task]]] = []
+        self._total_weight: int = 0
+        #: queue length as a plain attribute: hot readers (dispatch,
+        #: balancer sweeps) skip the __len__ call frame
+        self.count: int = 0
         self.min_vruntime: float = 0.0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._live)
+        return self.count
 
     def __contains__(self, task: Task) -> bool:
         return task.tid in self._live
@@ -49,7 +72,8 @@ class CfsRunQueue:
         return [e[2] for e in self._live.values()]
 
     def total_weight(self) -> int:
-        return sum(t.weight for t in self.tasks())
+        """Summed weight of queued tasks (maintained, O(1))."""
+        return self._total_weight
 
     # ------------------------------------------------------------------
     def push(self, task: Task) -> None:
@@ -58,6 +82,9 @@ class CfsRunQueue:
         entry = (task.vruntime, next(_entry_counter), task)
         self._live[task.tid] = entry
         heapq.heappush(self._heap, entry)
+        heapq.heappush(self._max_heap, (-entry[0], -entry[1], entry))
+        self._total_weight += task.weight
+        self.count += 1
 
     def pop_min(self) -> Optional[Task]:
         """Remove and return the leftmost (smallest vruntime) task."""
@@ -66,7 +93,10 @@ class CfsRunQueue:
             task = entry[2]
             if self._live.get(task.tid) is entry:
                 del self._live[task.tid]
-                self._advance_min(task.vruntime)
+                self._total_weight -= task.weight
+                self.count -= 1
+                if task.vruntime > self.min_vruntime:  # _advance_min, inlined
+                    self.min_vruntime = task.vruntime
                 return task
         return None
 
@@ -81,16 +111,32 @@ class CfsRunQueue:
 
     def remove(self, task: Task) -> None:
         """Remove an arbitrary task (migration/sleep).  O(1) amortized."""
-        if task.tid not in self._live:
+        entry = self._live.pop(task.tid, None)
+        if entry is None:
             raise ValueError(f"{task} not queued")
-        del self._live[task.tid]
-        # stale heap entry is skipped lazily by pop_min/peek_min
+        self._total_weight -= task.weight
+        self.count -= 1
+        # stale heap entries are skipped lazily by pop_min/peek_min/
+        # max_vruntime; compact when they dominate so removal-heavy
+        # balancer churn cannot grow the heaps without bound
+        if len(self._heap) > _COMPACT_FACTOR * len(self._live) + _COMPACT_MIN:
+            self._compact()
 
     def max_vruntime(self) -> float:
-        """Largest vruntime among queued tasks (for sched_yield)."""
-        if not self._live:
-            return self.min_vruntime
-        return max(e[0] for e in self._live.values())
+        """Largest vruntime among queued tasks (for sched_yield).
+
+        Served from the max-side lazy heap: stale top entries are
+        discarded until a live one surfaces, so the amortized cost is
+        O(log n) against the O(n) scan this replaces.
+        """
+        heap = self._max_heap
+        live = self._live
+        while heap:
+            entry = heap[0][2]
+            if live.get(entry[2].tid) is entry:
+                return entry[0]
+            heapq.heappop(heap)
+        return self.min_vruntime
 
     def requeue(self, task: Task) -> None:
         """Re-insert after a vruntime change (yield, slice expiry)."""
@@ -99,6 +145,14 @@ class CfsRunQueue:
         self.push(task)
 
     # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        """Drop stale lazy-deletion entries and re-heapify in place."""
+        live = self._live
+        self._heap = [e for e in self._heap if live.get(e[2].tid) is e]
+        heapq.heapify(self._heap)
+        self._max_heap = [m for m in self._max_heap if live.get(m[2][2].tid) is m[2]]
+        heapq.heapify(self._max_heap)
+
     def _advance_min(self, candidate: float) -> None:
         """min_vruntime never decreases (CFS invariant)."""
         if candidate > self.min_vruntime:
@@ -109,11 +163,22 @@ class CfsRunQueue:
 
         CFS updates ``min_vruntime`` from min(leftmost, current); since
         the current task usually has the smallest vruntime this is the
-        main driver of the baseline.
+        main driver of the baseline.  Runs on every charge, so the
+        peek-min scan is inlined (entry[0] is the queued task's
+        vruntime: it is immutable while queued).
         """
-        leftmost = self.peek_min()
-        floor = vruntime if leftmost is None else min(vruntime, leftmost.vruntime)
-        self._advance_min(floor)
+        floor = vruntime
+        heap = self._heap
+        live = self._live
+        while heap:
+            entry = heap[0]
+            if live.get(entry[2].tid) is entry:
+                if entry[0] < floor:
+                    floor = entry[0]
+                break
+            heapq.heappop(heap)
+        if floor > self.min_vruntime:
+            self.min_vruntime = floor
 
 
 class O1RunQueue:
@@ -129,10 +194,13 @@ class O1RunQueue:
 
     def __init__(self) -> None:
         self._rr = RoundRobinQueue()
+        self._total_weight: int = 0
+        #: queue length as a plain attribute (see CfsRunQueue.count)
+        self.count: int = 0
         self.min_vruntime: float = 0.0
 
     def __len__(self) -> int:
-        return len(self._rr)
+        return self.count
 
     def __contains__(self, task: Task) -> bool:
         return task in self._rr
@@ -141,18 +209,24 @@ class O1RunQueue:
         return self._rr.tasks()
 
     def total_weight(self) -> int:
-        return sum(t.weight for t in self.tasks())
+        """Summed weight of queued tasks (maintained, O(1))."""
+        return self._total_weight
 
     def push(self, task: Task) -> None:
         if task in self._rr:
             raise ValueError(f"{task} already queued")
         self._rr.push_active(task)
+        self._total_weight += task.weight
+        self.count += 1
 
     def pop_min(self) -> Optional[Task]:
         t = self._rr.pop_active()
         if t is None and self._rr.expired:
             self._rr.swap()
             t = self._rr.pop_active()
+        if t is not None:
+            self._total_weight -= t.weight
+            self.count -= 1
         return t
 
     def peek_min(self) -> Optional[Task]:
@@ -164,6 +238,8 @@ class O1RunQueue:
 
     def remove(self, task: Task) -> None:
         self._rr.remove(task)
+        self._total_weight -= task.weight
+        self.count -= 1
 
     def max_vruntime(self) -> float:
         return self.min_vruntime
@@ -184,35 +260,50 @@ class RoundRobinQueue:
     the arrays swap.  Used directly by :class:`O1RunQueue` and, at the
     balancer level, mirrored by DWRR's round bookkeeping -- see
     :class:`repro.balance.dwrr.DwrrBalancer`.
+
+    A tid -> deque membership map (mirroring ``CfsRunQueue``'s tid map)
+    makes ``__contains__`` O(1) and lets :meth:`remove` go straight to
+    the holding deque -- absence raises without scanning either array,
+    and presence costs one ``deque.remove`` instead of up to two.  The
+    map stores the deque *object*, so :meth:`swap` (which only
+    exchanges the ``active``/``expired`` attribute bindings) needs no
+    fixup.
     """
 
     def __init__(self) -> None:
         self.active: deque[Task] = deque()
         self.expired: deque[Task] = deque()
+        self._where: dict[int, deque[Task]] = {}  # tid -> holding deque
 
     def __len__(self) -> int:
         return len(self.active) + len(self.expired)
 
     def __contains__(self, task: Task) -> bool:
-        return task in self.active or task in self.expired
+        return task.tid in self._where
 
     def tasks(self) -> list[Task]:
         return list(self.active) + list(self.expired)
 
     def push_active(self, task: Task) -> None:
         self.active.append(task)
+        self._where[task.tid] = self.active
 
     def push_expired(self, task: Task) -> None:
         self.expired.append(task)
+        self._where[task.tid] = self.expired
 
     def pop_active(self) -> Optional[Task]:
-        return self.active.popleft() if self.active else None
+        if not self.active:
+            return None
+        task = self.active.popleft()
+        del self._where[task.tid]
+        return task
 
     def remove(self, task: Task) -> None:
-        try:
-            self.active.remove(task)
-        except ValueError:
-            self.expired.remove(task)
+        dq = self._where.pop(task.tid, None)
+        if dq is None:
+            raise ValueError(f"{task} not queued")
+        dq.remove(task)
 
     def swap(self) -> None:
         """Swap active and expired arrays (round advance)."""

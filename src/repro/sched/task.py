@@ -212,6 +212,11 @@ class Task:
         self.last_descheduled_at: int = -(10 ** 12)
         self.last_core: Optional[int] = None
         self.migration_debt_us: float = 0.0  # cache-refill cost to pay
+        #: cache of current-or-last core maintained by
+        #: :meth:`repro.system.System.note_residency` (the per-core
+        #: residency index the user-level balancers query); None once
+        #: FINISHED or while the task has never touched a core.
+        self.resident_core: Optional[int] = None
         # --- memory placement (NUMA) -------------------------------------
         self.home_node: Optional[int] = None  # first-touch node
         # --- DWRR fields --------------------------------------------------

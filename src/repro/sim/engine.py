@@ -94,7 +94,10 @@ class Event:
         if eng is not None and self.in_heap:
             eng._note_cancel()
 
-    def __lt__(self, other: "Event") -> bool:  # heap ordering
+    def __lt__(self, other: "Event") -> bool:
+        # Kept for forged-event tests and direct comparisons; the engine
+        # heap itself holds (time, seq, event) tuples so heap ordering
+        # uses C-level tuple comparison and never calls back into this.
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -125,7 +128,9 @@ class Engine:
 
     def __init__(self, max_events: int = 200_000_000):
         self.now: int = 0
-        self._heap: list[Event] = []
+        #: (time, seq, event) triples: seq is unique, so heap comparisons
+        #: resolve on the int prefix at C speed without touching Event
+        self._heap: list[tuple[int, int, Event]] = []
         self._seq: int = 0
         self._dispatched: int = 0
         #: cancelled events still sitting in the heap (lazy deletion)
@@ -156,7 +161,7 @@ class Engine:
         # and this is the hottest allocation site in the simulator.
         ev = Event(self.now + int(delay), self._seq, callback, label, self)
         self._seq += 1
-        heappush(self._heap, ev)
+        heappush(self._heap, (ev.time, ev.seq, ev))
         return ev
 
     def schedule_at(self, time: int, callback: Callable[[], Any], label: str = "") -> Event:
@@ -165,7 +170,7 @@ class Engine:
             raise SimulationError(f"cannot schedule at t={time} before now={self.now}")
         ev = Event(int(time), self._seq, callback, label, self)
         self._seq += 1
-        heappush(self._heap, ev)
+        heappush(self._heap, (ev.time, ev.seq, ev))
         return ev
 
     # ------------------------------------------------------------------
@@ -214,14 +219,13 @@ class Engine:
         observers = self.observers  # alias, not copy: live hook list
         dispatched_any = False
         while heap and (single or not self._stop_requested):
-            ev = heap[0]
+            t, _, ev = heap[0]
             if ev.cancelled:
                 pop(heap)
                 ev.in_heap = False
                 if ev.engine is not None:
                     self._cancelled -= 1
                 continue
-            t = ev.time
             if until is not None and t > until:
                 break
             pop(heap)
@@ -272,10 +276,10 @@ class Engine:
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify, in place."""
         heap = self._heap
-        live = [ev for ev in heap if not ev.cancelled]
-        for ev in heap:
-            if ev.cancelled:
-                ev.in_heap = False
+        live = [entry for entry in heap if not entry[2].cancelled]
+        for entry in heap:
+            if entry[2].cancelled:
+                entry[2].in_heap = False
         heap[:] = live
         heapify(heap)
         self._cancelled = 0
@@ -319,9 +323,9 @@ class Engine:
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the queue is empty."""
         heap = self._heap
-        while heap and heap[0].cancelled:
-            ev = heappop(heap)
+        while heap and heap[0][2].cancelled:
+            ev = heappop(heap)[2]
             ev.in_heap = False
             if ev.engine is not None:
                 self._cancelled -= 1
-        return heap[0].time if heap else None
+        return heap[0][0] if heap else None

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, Union
 
+from repro.balance.base import KernelBalancer
 from repro.mem.cache_model import CacheModel
 from repro.metrics.trace import TraceRecorder
 from repro.sched.cfs import CfsParams, O1Params
@@ -115,9 +116,24 @@ class System:
             self.trace: Optional[TraceRecorder] = trace
         else:
             self.trace = TraceRecorder() if trace else None
+        # -- maintained hot-path indexes (see docs/performance.md) ------
+        #: memory-contention scope key -> sorted [(cid, mem_intensity)]
+        #: of cores whose *running* task has positive intensity; scope
+        #: is the NUMA node (mem_contention_scope == "node") or one
+        #: machine-wide bucket.  Summing the list in cid order
+        #: reproduces the old all-core sweep's float result bit-exactly
+        #: (adding 0.0 is exact, so skipping idle/zero cores is too).
+        self._mem_scope_busy: dict[int, list[tuple[int, float]]] = {}
+        #: per-core residency: cid -> {tid: Task} of tasks whose
+        #: current-or-last core is cid (see note_residency)
+        self._residents: list[dict[int, Task]] = [{} for _ in machine.cores]
         self.cores: list[CoreSim] = [CoreSim(self, hw) for hw in machine.cores]
         self.tasks: list[Task] = []
         self.kernel_balancer = None  # set by set_balancer
+        #: bound on_charge of the kernel balancer, or None when it uses
+        #: the base-class no-op -- the dispatch path's charge hook skips
+        #: a guaranteed-empty call per charge (see CoreSim._charge_current)
+        self._kb_on_charge: Optional[Callable[[CoreSim, Task, int], None]] = None
         self.user_balancers: list = []
         # -- bookkeeping ----------------------------------------------
         self.migration_log: list[MigrationRecord] = []
@@ -143,6 +159,11 @@ class System:
     def set_balancer(self, balancer) -> None:
         """Install the kernel-level balancer (call before spawning)."""
         self.kernel_balancer = balancer
+        self._kb_on_charge = (
+            balancer.on_charge
+            if type(balancer).on_charge is not KernelBalancer.on_charge
+            else None
+        )
         balancer.attach(self)
 
     def add_user_balancer(self, balancer) -> None:
@@ -194,6 +215,7 @@ class System:
         """Block ``task``; it wakes ``wake_in`` microseconds from now."""
         task.state = TaskState.SLEEPING
         task.cur_core = None
+        self.note_residency(task)
         self.engine.schedule(max(1, wake_in), lambda: self.wake(task, 0), "sleep_wake")
 
     def wake(self, task: Task, latency_us: int = 0) -> None:
@@ -220,6 +242,7 @@ class System:
         task.state = TaskState.FINISHED
         task.finished_at = self.engine.now
         task.cur_core = None
+        self.note_residency(task)
         task.program.on_exit(task, self.engine.now)
         for cb in self._exit_callbacks.pop(task.tid, []):
             cb(task)
@@ -355,6 +378,7 @@ class System:
             raise ValueError("clock factor must be positive")
         core = self.cores[cid]
         self.machine.cores[cid].clock_factor = float(factor)
+        core._clock_factor = float(factor)  # keep the core's hot-path cache in sync
         if core.current is not None:
             core.resched()
 
@@ -396,6 +420,41 @@ class System:
             raise RuntimeError(
                 f"simulation limit reached with unfinished tasks: {undone[:8]}"
             )
+
+    # ------------------------------------------------------------------
+    # residency index (the /proc-affinity analog, maintained not scanned)
+    # ------------------------------------------------------------------
+    def note_residency(self, task: Task) -> None:
+        """Refresh ``task``'s slot in the per-core residency index.
+
+        A task *resides* on its current core, or -- sleeping/descheduled,
+        exactly the taskstats semantics the user-level balancers sample
+        -- on the core it last ran on; a FINISHED task resides nowhere.
+        Every mutation of ``cur_core``/``last_core``/``state`` that can
+        change that answer calls this; the balancers then read
+        :meth:`residents_on` in O(residents) instead of scanning every
+        task of the application per wake.
+        """
+        if task.state == TaskState.FINISHED:
+            where = None
+        else:
+            where = task.cur_core if task.cur_core is not None else task.last_core
+        old = task.resident_core
+        if where == old:
+            return
+        if old is not None:
+            self._residents[old].pop(task.tid, None)
+        if where is not None:
+            self._residents[where][task.tid] = task
+        task.resident_core = where
+
+    def residents_on(self, cid: int) -> dict[int, Task]:
+        """Live view of the residency index for one core: tid -> Task.
+
+        Callers must not mutate it, and must impose their own
+        deterministic order (dict order here is arrival order).
+        """
+        return self._residents[cid]
 
     # ------------------------------------------------------------------
     # introspection (the /proc analog used by user-level balancers)

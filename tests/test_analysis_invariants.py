@@ -103,7 +103,8 @@ class TestInv001ClockMonotonic:
         eng.run()
         assert eng.now == 100
         # forge an event behind the clock, bypassing schedule()'s guard
-        heapq.heappush(eng._heap, Event(50, 10**9, lambda: None, "forged-past"))
+        forged = Event(50, 10**9, lambda: None, "forged-past")
+        heapq.heappush(eng._heap, (forged.time, forged.seq, forged))
         with pytest.raises(InvariantViolation) as ei:
             eng.run()
         assert ei.value.rule == "INV001"

@@ -223,6 +223,7 @@ class TestRepoIsClean:
     def test_rule_catalogue_complete(self):
         assert sorted(RULES) == [
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+            "SIM007",
         ]
 
 
@@ -337,3 +338,61 @@ class TestSim006FsIteration:
     def test_unrelated_name_not_flagged(self):
         src = "names = listdir('runs')\n"  # not imported from os
         assert rule_ids(src, self.HARNESS) == []
+
+
+class TestSim007AggregateSweeps:
+    """O(n) aggregate recomputation in sched/ and core/ hot modules."""
+
+    HOT = Path("src/repro/sched/fake.py")
+    CORE = Path("src/repro/core/fake.py")
+
+    def test_sum_over_rq_tasks(self):
+        src = "w = sum(t.weight for t in self.rq.tasks())\n"
+        assert rule_ids(src, self.HOT) == ["SIM007"]
+
+    def test_max_over_rq_tasks(self):
+        src = "v = max(t.vruntime for t in rq.tasks())\n"
+        assert rule_ids(src, self.HOT) == ["SIM007"]
+
+    def test_full_core_sweep_direct_arg(self):
+        src = "busiest = max(self.system.cores, key=lambda c: c.nr_running)\n"
+        assert rule_ids(src, self.CORE) == ["SIM007"]
+
+    def test_listcomp_over_runnable_tasks(self):
+        src = "n = sum([1 for t in core.runnable_tasks()])\n"
+        assert rule_ids(src, self.CORE) == ["SIM007"]
+
+    def test_any_over_cores(self):
+        src = "busy = any(c.current is not None for c in cores)\n"
+        assert rule_ids(src, self.HOT) == ["SIM007"]
+
+    def test_scalar_min_max_exempt(self):
+        src = (
+            "a = min(slice_us, yield_check_us)\n"
+            "b = max(1, run_for)\n"
+            "c = max(task.vruntime, self.rq.max_vruntime())\n"
+        )
+        assert rule_ids(src, self.HOT) == []
+
+    def test_local_collections_exempt(self):
+        src = "avg = sum(speeds) / len(speeds)\n"
+        assert rule_ids(src, self.CORE) == []
+
+    def test_out_of_scope_dirs_exempt(self):
+        src = "w = sum(t.weight for t in self.rq.tasks())\n"
+        assert rule_ids(src, Path("src/repro/balance/fake.py")) == []
+        assert rule_ids(src, Path("src/repro/harness/fake.py")) == []
+
+    def test_suppression_comment(self):
+        src = (
+            "w = sum(t.weight for t in self.rq.tasks())"
+            "  # sim-lint: ignore[SIM007]\n"
+        )
+        assert rule_ids(src, self.HOT) == []
+
+    def test_allowlist_policy_keeps_hot_dirs_at_zero(self):
+        # the shipped allowlist must not excuse SIM007 anywhere under
+        # the hot scheduling directories
+        for rule, glob in load_allowlist(DEFAULT_ALLOWLIST):
+            if rule == "SIM007":
+                assert "repro/sched/" not in glob and "repro/core/" not in glob

@@ -192,7 +192,8 @@ class TestRunControl:
         eng = Engine()
         eng.schedule(100, lambda: None)
         eng.run()
-        heapq.heappush(eng._heap, Event(50, 10**9, lambda: None, "forged"))
+        forged = Event(50, 10**9, lambda: None, "forged")
+        heapq.heappush(eng._heap, (forged.time, forged.seq, forged))
         with pytest.raises(SimulationError, match="backwards"):
             eng.step()
         assert eng.now == 100
@@ -219,7 +220,7 @@ class TestCancellationAccounting:
 
     @staticmethod
     def brute_pending(eng):
-        return sum(1 for ev in eng._heap if not ev.cancelled)
+        return sum(1 for entry in eng._heap if not entry[2].cancelled)
 
     def test_pending_consistent_under_heavy_cancellation(self):
         eng = Engine()
@@ -278,7 +279,7 @@ class TestCancellationAccounting:
         eng = Engine()
         eng.schedule(5, lambda: None)
         forged = Event(7, 10**9, lambda: None, "forged")
-        heapq.heappush(eng._heap, forged)
+        heapq.heappush(eng._heap, (forged.time, forged.seq, forged))
         forged.cancel()  # no engine backref: silently uncounted
         assert eng.pending == 2  # conservative: counted live until popped
         eng.run()

@@ -169,6 +169,36 @@ class TestTruncationGuards:
         assert not tr.truncated
         assert core_utilization(tr, n_cores=1) == [1.0]
 
+    def test_mixed_truncation_caps_are_independent(self):
+        """Each record kind truncates against its own cap, not the other's.
+
+        A tight ``migration_limit`` must not eat into segment capacity
+        (and vice versa): segments keep recording after migrations hit
+        their cap, and the drop counters attribute every loss to the
+        right kind.
+        """
+        tr = TraceRecorder(limit=3, migration_limit=1)
+        tr.record_migration(0, 1, "a", None, 0, False, "speed.initial")
+        tr.record_migration(1, 2, "b", None, 1, False, "speed.initial")
+        assert tr.migrations_dropped == 1 and tr.dropped == 0
+        # migrations are full, segments are not: recording continues
+        for i in range(3):
+            tr.record(1, "a", 0, i * 10, i * 10 + 10, "run")
+        assert len(tr.segments) == 3 and tr.dropped == 0
+        tr.record(1, "a", 0, 90, 100, "run")
+        assert tr.dropped == 1 and len(tr.segments) == 3
+        assert len(tr.migrations) == 1
+        assert tr.truncated
+
+    def test_segment_cap_does_not_bound_migrations(self):
+        tr = TraceRecorder(limit=1, migration_limit=4)
+        tr.record(1, "a", 0, 0, 10, "run")
+        tr.record(2, "b", 1, 0, 10, "run")
+        assert tr.dropped == 1
+        for t in range(4):
+            tr.record_migration(t, 1, "a", None, 0, False, "speed.initial")
+        assert len(tr.migrations) == 4 and tr.migrations_dropped == 0
+
 
 class TestMigrationEvents:
     def test_recorded_through_system(self):
