@@ -19,6 +19,11 @@ the artifacts both are judged from:
 * :mod:`repro.analysis.lint` -- an AST-based determinism linter
   (``python -m repro.analysis lint src/repro``) with rules SIM001..
   SIM006, per-line suppression comments and a per-rule allowlist file;
+* :mod:`repro.analysis.flow` -- a whole-program flow analyzer
+  (``python -m repro.analysis flow``) that builds a name-resolved call
+  graph and runs an interprocedural taint fixpoint, closing the SIM
+  rules' cross-function blind spots (rules FLOW001..FLOW005, with a
+  committed strict-ratchet findings baseline);
 * :mod:`repro.analysis.invariants` -- an opt-in runtime
   :class:`~repro.analysis.invariants.InvariantChecker` hooked into
   :class:`~repro.sim.engine.Engine` and :class:`~repro.system.System`
@@ -43,6 +48,7 @@ from repro.analysis.invariants import (
     InvariantViolation,
     install_invariant_checker,
 )
+from repro.analysis.flow import FLOW_RULES, FlowFinding, FlowRule, flow_paths
 from repro.analysis.lint import Finding, LintRule, lint_paths, lint_source
 from repro.analysis.sanitizer import (
     SAN_RULES,
@@ -59,6 +65,10 @@ __all__ = [
     "LintRule",
     "lint_paths",
     "lint_source",
+    "FLOW_RULES",
+    "FlowFinding",
+    "FlowRule",
+    "flow_paths",
     "InvariantConfig",
     "InvariantChecker",
     "InvariantViolation",

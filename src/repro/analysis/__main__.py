@@ -2,8 +2,9 @@
 
 Subcommands::
 
-    python -m repro.analysis lint [paths...]     # determinism linter
-    python -m repro.analysis rules               # print the rule catalogue
+    python -m repro.analysis lint [paths...]     # per-file determinism linter
+    python -m repro.analysis flow [paths...]     # whole-program flow analyzer
+    python -m repro.analysis rules               # print the rule catalogues
 
 The runtime invariant checker is reached through the main CLI
 (``repro check --invariants``) because it needs a simulation to run.
@@ -14,6 +15,8 @@ from __future__ import annotations
 import sys
 from typing import Optional, Sequence
 
+from repro.analysis.flow import FLOW_RULES
+from repro.analysis.flow.cli import main as flow_main
 from repro.analysis.invariants import INVARIANTS
 from repro.analysis.lint import RULES, main as lint_main
 from repro.analysis.sanitizer import SAN_RULES
@@ -27,10 +30,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     command, rest = argv[0], argv[1:]
     if command == "lint":
         return lint_main(rest)
+    if command == "flow":
+        return flow_main(rest)
     if command == "rules":
         print("Static determinism lint rules (repro.analysis.lint):")
         for rule in RULES.values():
             print(f"  {rule.id}  {rule.summary}")
+        print("Whole-program flow rules (repro.analysis.flow, `flow`):")
+        for fid, flow_rule in FLOW_RULES.items():
+            print(f"  {fid}  {flow_rule.summary}")
         print("Runtime invariants (repro.analysis.invariants):")
         for rid, summary in INVARIANTS.items():
             print(f"  {rid}  {summary}")
@@ -38,8 +46,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rid, summary in SAN_RULES.items():
             print(f"  {rid}  {summary}")
         return 0
-    print(f"repro.analysis: unknown command {command!r} (expected 'lint' or 'rules')",
-          file=sys.stderr)
+    print(
+        f"repro.analysis: unknown command {command!r} "
+        "(expected 'lint', 'flow' or 'rules')",
+        file=sys.stderr,
+    )
     return 2
 
 

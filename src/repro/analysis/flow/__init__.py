@@ -1,0 +1,108 @@
+"""Whole-program determinism flow analyzer (FLOW rules).
+
+Where :mod:`repro.analysis.lint` checks one file at a time, this
+package parses every module under the given paths once, builds a
+name-resolved call graph, computes per-function taint summaries and
+runs an interprocedural fixpoint -- closing the blind spots a
+per-file linter cannot see (``t = engine.now; helper(t)`` where the
+float division happens inside ``helper``).
+
+Layering: ``modules`` (parse + name) -> ``callgraph`` (program index)
+-> ``summaries`` (taint fixpoint) -> ``rules``/``baseline``/``cli``
+(reporting).  Suppressions and allowlists reuse the shared
+:mod:`repro.analysis.suppress` conventions, so ``# sim-lint:
+ignore[FLOW004]`` works exactly like its SIM counterpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis import suppress
+from repro.analysis.flow.callgraph import build_index
+from repro.analysis.flow.modules import load_modules
+from repro.analysis.flow.rules import FLOW_RULES, FlowFinding, FlowRule
+from repro.analysis.flow.summaries import FlowAnalysis
+
+__all__ = [
+    "FLOW_RULES",
+    "FlowRule",
+    "FlowFinding",
+    "FlowReport",
+    "DEFAULT_ALLOWLIST",
+    "DEFAULT_BASELINE",
+    "analyze_paths",
+    "flow_paths",
+    "flow_source",
+]
+
+#: shipped zero-entry allowlist, next to the linter's
+DEFAULT_ALLOWLIST = Path(__file__).resolve().parent.parent / "flow_allowlist.txt"
+#: committed findings baseline (strict ratchet; see ``flow.baseline``)
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "flow_baseline.txt"
+
+
+@dataclass
+class FlowReport:
+    """The outcome of one whole-program analysis."""
+
+    findings: list[FlowFinding]
+    errors: list[tuple[str, int, int, str]]  # unparseable files
+    modules: int
+    functions: int
+    rounds: int  # fixpoint rounds until convergence
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    allowlist: Sequence[tuple[str, str]] = (),
+) -> FlowReport:
+    """Run the full pipeline over every ``*.py`` under ``paths``."""
+    modules = load_modules(paths)
+    program = build_index(modules)
+    analysis = FlowAnalysis(program)
+    analysis.solve()
+    raw = analysis.report()
+
+    by_path = {str(m.path): m for m in modules}
+    findings: list[FlowFinding] = []
+    for f in raw:
+        module = by_path.get(f.path)
+        if module is not None:
+            if suppress.has_skip_file(module.source):
+                continue
+            if suppress.is_suppressed(f.rule, f.line, module.lines):
+                continue
+        if suppress.allowlisted(f.rule, f.path, allowlist):
+            continue
+        findings.append(f)
+    return FlowReport(
+        findings=findings,
+        errors=list(modules.errors),
+        modules=len(modules),
+        functions=len(program.functions),
+        rounds=analysis.rounds,
+    )
+
+
+def flow_paths(
+    paths: Iterable[str | Path],
+    allowlist: Sequence[tuple[str, str]] = (),
+) -> list[FlowFinding]:
+    """Findings for ``paths`` (the test-friendly entry point)."""
+    return analyze_paths(paths, allowlist).findings
+
+
+def flow_source(tree_files: dict[str, str], root: Path) -> list[FlowFinding]:
+    """Analyze an in-memory file tree materialized under ``root``.
+
+    Test helper: writes ``relative-path -> source`` pairs below
+    ``root`` (creating packages as given) and analyzes the tree.
+    """
+    for rel, source in tree_files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return flow_paths([root])

@@ -1,0 +1,112 @@
+"""Committed findings baseline with strict-ratchet semantics.
+
+The baseline file pins the analyzer's known findings as stable
+fingerprints (``RULE repro-relative-path:function-qual``, with an
+``xN`` multiplicity suffix when a function trips the same rule at N
+sites).  The ratchet is strict in *both* directions:
+
+* a finding **not** in the baseline fails the run (no new debt);
+* a baseline entry with **no** matching finding also fails the run
+  (fixed debt must be deleted from the baseline, so the file only
+  ever shrinks -- it cannot silently mask future regressions).
+
+``--write-baseline`` regenerates the file from the current findings.
+Fingerprints use line-independent components only, so refactors that
+move code inside a function do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path, PurePosixPath
+from typing import AbstractSet, Iterable, Sequence
+
+from repro.analysis.flow.rules import FlowFinding
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "apply_baseline",
+    "format_baseline",
+    "write_baseline",
+]
+
+_HEADER = """\
+# Findings baseline for the flow analyzer (strict ratchet).
+#
+# One fingerprint per line: RULE repro-relative-path:function-qual [xN]
+# New findings not listed here FAIL the run; listed entries with no
+# matching finding ALSO fail (delete fixed debt).  Regenerate with:
+#   python -m repro.analysis flow --write-baseline
+"""
+
+
+def _norm_path(path: str) -> str:
+    """Path relative to the innermost ``repro`` directory.
+
+    Makes fingerprints stable between ``src/repro/...`` checkouts and
+    installed-package layouts.
+    """
+    parts = PurePosixPath(Path(path).as_posix()).parts
+    if "repro" in parts:
+        last = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        parts = parts[last:]
+    return "/".join(parts)
+
+
+def fingerprint(finding: FlowFinding) -> str:
+    return f"{finding.rule} {_norm_path(finding.path)}:{finding.function}"
+
+
+def load_baseline(path: Path, known_rules: AbstractSet[str]) -> Counter:
+    """Parse the baseline into fingerprint -> allowed count."""
+    allowed: Counter = Counter()
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        count = 1
+        if len(parts) == 3 and parts[2].startswith("x") and parts[2][1:].isdigit():
+            count = int(parts[2][1:])
+            parts = parts[:2]
+        if len(parts) != 2 or parts[0] not in known_rules:
+            raise ValueError(
+                f"{path}:{lineno}: expected '<RULE> <path:function> [xN]', got {raw!r}"
+            )
+        allowed[f"{parts[0]} {parts[1]}"] += count
+    return allowed
+
+
+def apply_baseline(
+    findings: Sequence[FlowFinding], allowed: Counter
+) -> tuple[list[FlowFinding], list[str]]:
+    """Split findings into (new, stale-baseline-entries).
+
+    The first ``allowed[fp]`` findings per fingerprint are baselined;
+    any excess is new.  Entries whose budget is not fully consumed are
+    stale and must be removed from the file.
+    """
+    remaining = Counter(allowed)
+    new: list[FlowFinding] = []
+    for f in findings:
+        fp = fingerprint(f)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+        else:
+            new.append(f)
+    stale = sorted(fp for fp, n in remaining.items() if n > 0)
+    return new, stale
+
+
+def format_baseline(findings: Iterable[FlowFinding]) -> str:
+    counts = Counter(fingerprint(f) for f in findings)
+    lines = [_HEADER]
+    for fp in sorted(counts):
+        n = counts[fp]
+        lines.append(fp if n == 1 else f"{fp} x{n}")
+    return "\n".join(lines) + "\n"
+
+
+def write_baseline(findings: Sequence[FlowFinding], path: Path) -> None:
+    path.write_text(format_baseline(findings))

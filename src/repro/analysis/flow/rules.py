@@ -1,0 +1,106 @@
+"""The FLOW rule catalogue and finding type.
+
+Each FLOW rule is the *interprocedural* closure of a blind spot in the
+per-file SIM linter: the same determinism property, enforced across
+function, method and module boundaries by the taint fixpoint instead
+of per-line pattern matching.
+
+======== =============================================================
+FLOW001  Float contamination reaching engine timestamps through
+         aliases, call chains and returns (interprocedural SIM004):
+         a value derived from ``engine.now`` is true-divided or
+         ``float()``-ed in an engine-time module -- possibly inside a
+         helper that received it as a parameter -- or a float-valued
+         expression produced by a callee flows into an
+         ``Engine.schedule``/``schedule_at`` time argument.
+FLOW002  Global or unseeded randomness flowing into a scheduling
+         decision via intermediaries (interprocedural SIM002): a
+         function anywhere draws from the global :mod:`random` module
+         (or ``numpy.random``, or an unseeded ``random.Random()``) and
+         the value reaches code in ``balance/``, ``sched/`` or
+         ``core/`` through calls or returns.
+FLOW003  An unordered ``set``/``frozenset``/``.keys()`` value escapes
+         the function that built it and is iterated in a
+         scheduling-decision module (interprocedural SIM001) -- either
+         a decision-module caller iterates a set-returning callee's
+         result, or a set is passed into a decision-module function
+         that iterates its parameter.
+FLOW004  Module-level mutable state written from a hot scheduling or
+         harness-worker code path: process-global containers and
+         iterators mutated by functions reachable from ``sched/``,
+         ``core/``, ``balance/``, ``sim/`` or the worker entry modules
+         break fork-safety for ``repeat_run``/``sweep workers=N`` and
+         any future serving daemon.
+FLOW005  A lambda, closure or local function flows into
+         :mod:`repro.store` spec-key construction (``spec_digest``,
+         ``canonical_value``, ``function_ref``, ...), which raises
+         ``UnstorableSpecError`` at runtime -- this rule surfaces it
+         statically, including through intermediaries.
+======== =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlowRule", "FLOW_RULES", "FlowFinding"]
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """One rule of the FLOW catalogue."""
+
+    id: str
+    summary: str
+
+
+FLOW_RULES: dict[str, FlowRule] = {
+    r.id: r
+    for r in (
+        FlowRule(
+            "FLOW001",
+            "float arithmetic reaching an engine timestamp across call boundaries",
+        ),
+        FlowRule(
+            "FLOW002",
+            "global/unseeded randomness flowing into a scheduling decision",
+        ),
+        FlowRule(
+            "FLOW003",
+            "unordered set escaping into iteration in a decision module",
+        ),
+        FlowRule(
+            "FLOW004",
+            "module-level mutable state written on a hot or worker path",
+        ),
+        FlowRule(
+            "FLOW005",
+            "lambda/closure flowing into store spec-key construction",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One interprocedural determinism violation."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    function: str  # qualified name of the function containing the sink
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "function": self.function,
+        }

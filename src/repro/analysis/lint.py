@@ -67,10 +67,11 @@ than participating in simulated time.
 from __future__ import annotations
 
 import ast
-import fnmatch
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
+
+from repro.analysis import reporting, suppress
 
 __all__ = [
     "RULES",
@@ -175,70 +176,34 @@ class Finding:
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
 
 # ----------------------------------------------------------------------
-# allowlist
+# allowlist and suppression comments (conventions shared with the flow
+# analyzer; see repro.analysis.suppress)
 # ----------------------------------------------------------------------
 DEFAULT_ALLOWLIST = Path(__file__).with_name("lint_allowlist.txt")
 
 
 def load_allowlist(path: Path) -> list[tuple[str, str]]:
     """Parse ``RULE  glob`` lines; ``#`` comments and blanks ignored."""
-    entries: list[tuple[str, str]] = []
-    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        parts = line.split()
-        if len(parts) != 2 or parts[0] not in RULES:
-            raise ValueError(f"{path}:{lineno}: expected '<RULE> <path-glob>', got {raw!r}")
-        entries.append((parts[0], parts[1]))
-    return entries
+    return suppress.load_allowlist(path, frozenset(RULES))
 
 
 def _allowlisted(finding: Finding, allowlist: Sequence[tuple[str, str]]) -> bool:
-    posix = Path(finding.path).as_posix()
-    for rule, pattern in allowlist:
-        if rule != finding.rule:
-            continue
-        if fnmatch.fnmatch(posix, pattern) or fnmatch.fnmatch(posix, "*/" + pattern):
-            return True
-    return False
-
-
-# ----------------------------------------------------------------------
-# suppression comments
-# ----------------------------------------------------------------------
-def _suppressed_rules(line: str) -> Optional[frozenset[str]]:
-    """Rules suppressed by a ``# sim-lint: ignore[...]`` trailing comment.
-
-    Returns None when the line carries no suppression; an empty set
-    means "suppress everything" (bare ``ignore``).
-    """
-    marker = "sim-lint:"
-    idx = line.find(marker)
-    if idx < 0 or "#" not in line[:idx]:
-        return None
-    rest = line[idx + len(marker) :].strip()
-    if not rest.startswith("ignore"):
-        return None
-    rest = rest[len("ignore") :].strip()
-    if rest.startswith("["):
-        end = rest.find("]")
-        if end < 0:
-            return None
-        rules = frozenset(r.strip() for r in rest[1:end].split(",") if r.strip())
-        return rules
-    return frozenset()  # bare ignore: all rules
+    return suppress.allowlisted(finding.rule, finding.path, allowlist)
 
 
 def _is_suppressed(finding: Finding, lines: Sequence[str]) -> bool:
-    if not 1 <= finding.line <= len(lines):
-        return False
-    rules = _suppressed_rules(lines[finding.line - 1])
-    if rules is None:
-        return False
-    return not rules or finding.rule in rules
+    return suppress.is_suppressed(finding.rule, finding.line, lines)
 
 
 # ----------------------------------------------------------------------
@@ -662,7 +627,7 @@ def _floatish(node: ast.expr) -> bool:
 def lint_source(source: str, path: str | Path) -> list[Finding]:
     """Lint one module's source text.  Suppression comments applied."""
     p = Path(path)
-    if "sim-lint: skip-file" in source:
+    if suppress.has_skip_file(source):
         return []
     try:
         tree = ast.parse(source, filename=str(p))
@@ -732,6 +697,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="comma-separated rule ids to report (default: all)",
     )
+    reporting.add_format_argument(parser)
     args = parser.parse_args(argv)
 
     if args.no_allowlist:
@@ -744,10 +710,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.select:
         wanted = {r.strip() for r in args.select.split(",")}
         findings = [f for f in findings if f.rule in wanted]
-    for f in findings:
-        print(f.format())
+    reporting.emit_findings(findings, args.format)
     n = len(findings)
     if n:
-        print(f"sim-lint: {n} finding{'s' if n != 1 else ''}")
+        if args.format == "text":
+            print(f"sim-lint: {n} finding{'s' if n != 1 else ''}")
         return 1
     return 0

@@ -1,0 +1,100 @@
+"""Shared finding reporter for the static analyzers.
+
+The linter (:mod:`repro.analysis.lint`) and the flow analyzer
+(:mod:`repro.analysis.flow`) both emit findings shaped as
+``path:line:col: RULE message``; this module renders any such finding
+stream in either of two formats so every tool exposes the same
+``--format text|json`` contract:
+
+* ``text`` -- one ``Finding.format()`` line per finding (the grep- and
+  editor-friendly form CI logs show);
+* ``json`` -- a JSON array of plain dicts (``as_dict()`` when the
+  finding type provides it, else the standard five fields), for
+  dashboards and structured diffing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO, Any, Iterable, Optional, Protocol
+
+__all__ = [
+    "ReportableFinding",
+    "FORMATS",
+    "add_format_argument",
+    "finding_dict",
+    "render_json",
+    "render_text",
+    "emit_findings",
+]
+
+FORMATS = ("text", "json")
+
+
+class ReportableFinding(Protocol):
+    """What the reporter needs from a finding object."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str: ...
+
+
+def add_format_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--format text|json`` option."""
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="report findings as text lines (default) or a JSON array",
+    )
+
+
+def finding_dict(finding: ReportableFinding) -> dict[str, Any]:
+    """A finding's JSON-ready dict (``as_dict()`` when available)."""
+    as_dict = getattr(finding, "as_dict", None)
+    if callable(as_dict):
+        return dict(as_dict())
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "message": finding.message,
+    }
+
+
+def render_text(findings: Iterable[ReportableFinding]) -> list[str]:
+    """One formatted line per finding."""
+    return [f.format() for f in findings]
+
+
+def render_json(findings: Iterable[ReportableFinding]) -> str:
+    """The findings as an indented, key-sorted JSON array."""
+    return json.dumps(
+        [finding_dict(f) for f in findings], indent=2, sort_keys=True
+    )
+
+
+def emit_findings(
+    findings: Iterable[ReportableFinding],
+    fmt: str = "text",
+    stream: Optional[IO[str]] = None,
+) -> None:
+    """Print the findings in ``fmt`` to ``stream`` (default stdout).
+
+    In text mode callers follow up with their own summary line; in JSON
+    mode the array is the entire output, so machine consumers never
+    have to strip trailers.
+    """
+    out = sys.stdout if stream is None else stream
+    if fmt == "json":
+        print(render_json(findings), file=out)
+        return
+    for line in render_text(findings):
+        print(line, file=out)

@@ -123,10 +123,11 @@ def _cmd_model(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    """Correctness tooling: static determinism lint + runtime invariants.
+    """Correctness tooling: static analysis + runtime invariants.
 
-    ``repro check`` runs both layers; ``--lint`` / ``--invariants``
-    restrict it to one.  The invariant pass runs a smoke matrix of
+    ``repro check`` runs all three layers (per-file lint, whole-program
+    flow analysis, invariant smoke); ``--lint`` / ``--flow`` /
+    ``--invariants`` restrict it.  The invariant pass runs a smoke matrix of
     balancer modes on a UMA and a NUMA machine with an
     :class:`~repro.analysis.invariants.InvariantChecker` installed at
     full scan resolution, so every mechanism invariant (INV001..INV004)
@@ -140,8 +141,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
     )
     from repro.analysis.lint import lint_paths
 
-    do_lint = args.lint or not args.invariants
-    do_invariants = args.invariants or not args.lint
+    restricted = args.lint or args.invariants or args.flow
+    do_lint = args.lint or not restricted
+    do_flow = args.flow or not restricted
+    do_invariants = args.invariants or not restricted
     status = 0
 
     if do_lint:
@@ -152,6 +155,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
         n = len(findings)
         print(f"lint: {'ok' if not n else f'{n} finding(s)'} ({', '.join(paths)})")
         if n:
+            status = 1
+
+    if do_flow:
+        from repro.analysis.flow.cli import main as flow_main
+
+        paths = args.paths or [str(Path(__file__).resolve().parent)]
+        if flow_main(paths):
             status = 1
 
     if do_invariants:
@@ -618,7 +628,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser(
         "check",
-        help="correctness tooling: determinism lint + runtime invariant smoke",
+        help="correctness tooling: determinism lint + whole-program flow "
+             "analysis + runtime invariant smoke",
     )
     check.add_argument(
         "--invariants", action="store_true",
@@ -629,8 +640,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only the static determinism lint",
     )
     check.add_argument(
+        "--flow", action="store_true",
+        help="run only the whole-program flow analyzer",
+    )
+    check.add_argument(
         "--paths", nargs="+", default=None,
-        help="lint these paths (default: the installed repro package)",
+        help="analyze these paths (default: the installed repro package)",
     )
     check.add_argument("--bench", default="ep.C", choices=sorted(FULL_CATALOG))
     check.add_argument("--wait", default="yield", choices=sorted(WAITS))

@@ -71,7 +71,9 @@ def register_machine(name: str, factory: Callable[[], Machine]) -> None:
     """Make ``factory`` resolvable as ``RunSpec(machine=name)``."""
     if not callable(factory):
         raise ValueError(f"machine factory for {name!r} is not callable")
-    MACHINE_PRESETS[name] = factory
+    # registration must happen before any workers fork (module import
+    # time in practice); the registry is read-only on the worker path
+    MACHINE_PRESETS[name] = factory  # sim-lint: ignore[FLOW004]
 
 
 def resolve_machine(

@@ -79,7 +79,10 @@ class CfsRunQueue:
     def push(self, task: Task) -> None:
         if task.tid in self._live:
             raise ValueError(f"{task} already queued")
-        entry = (task.vruntime, next(_entry_counter), task)
+        # the counter only tie-breaks equal vruntimes *within* one heap;
+        # absolute values never leave the process, so workers drifting
+        # apart cannot change any schedule
+        entry = (task.vruntime, next(_entry_counter), task)  # sim-lint: ignore[FLOW004]
         self._live[task.tid] = entry
         heapq.heappush(self._heap, entry)
         heapq.heappush(self._max_heap, (-entry[0], -entry[1], entry))

