@@ -30,6 +30,12 @@ Perturbation legs
     process boundary), over every seed's canonical JSON.  Skipped for
     smokes whose co-runner factories close over system state that does
     not pickle.
+``engines``
+    The same scenario in-process under the ``heap`` and ``batched``
+    event-dispatch backends (:mod:`repro.sim.backends`).  The backends
+    are digest-equivalent by contract -- same events, same order, same
+    floats -- so any divergence means a batching fast path changed
+    simulated behaviour.  Full digest.
 """
 
 from __future__ import annotations
@@ -51,14 +57,18 @@ __all__ = [
     "differential_check",
 ]
 
-DIFFERENTIAL_LEGS = ("hashseed", "observers", "workers")
+DIFFERENTIAL_LEGS = ("hashseed", "observers", "workers", "engines")
 
 
-def scenario_digest(name: str, seed: int = 0, observers: bool = False) -> str:
+def scenario_digest(
+    name: str, seed: int = 0, observers: bool = False, engine: str = "heap"
+) -> str:
     """Run one scenario smoke in-process and return its canonical digest.
 
     ``observers=True`` installs the runtime invariant checker before the
-    run (the perturbation the ``observers`` leg compares against).
+    run (the perturbation the ``observers`` leg compares against);
+    ``engine`` selects the event-dispatch backend (the ``engines`` leg
+    compares a ``heap`` digest against a ``batched`` one).
     """
     smoke = scenario_smokes()[name]
     instrument = None
@@ -66,12 +76,13 @@ def scenario_digest(name: str, seed: int = 0, observers: bool = False) -> str:
         from repro.analysis.invariants import install_invariant_checker
 
         instrument = lambda system: install_invariant_checker(system)  # noqa: E731
-    result, system = smoke.run(seed=seed, instrument=instrument)
+    result, system = smoke.run(seed=seed, instrument=instrument, engine=engine)
     return run_digest(result, system.trace, system.engine)
 
 
 def subprocess_digest(
-    name: str, seed: int = 0, hashseed: Optional[int] = None, timeout: int = 300
+    name: str, seed: int = 0, hashseed: Optional[int] = None,
+    timeout: int = 300, engine: str = "heap"
 ) -> str:
     """Digest of a scenario computed by a fresh interpreter.
 
@@ -88,7 +99,8 @@ def subprocess_digest(
     if hashseed is not None:
         env["PYTHONHASHSEED"] = str(hashseed)
     proc = subprocess.run(
-        [sys.executable, "-m", "repro", "sanitize", "--digest", name, "--seed", str(seed)],
+        [sys.executable, "-m", "repro", "sanitize", "--digest", name,
+         "--seed", str(seed), "--engine", engine],
         env=env,
         capture_output=True,
         text=True,
@@ -126,7 +138,9 @@ def compare_digests(
     ]
 
 
-def _workers_digest(smoke: ScenarioSmoke, workers: int, seeds) -> str:
+def _workers_digest(
+    smoke: ScenarioSmoke, workers: int, seeds, engine: str = "heap"
+) -> str:
     """Results-only digest of a repeat_run fan-out, in seed order."""
     import hashlib
 
@@ -141,6 +155,7 @@ def _workers_digest(smoke: ScenarioSmoke, workers: int, seeds) -> str:
         seeds=seeds,
         workers=workers,
         speed_config=smoke.speed_config,
+        engine=engine,
     )
     h = hashlib.sha256()
     for r in rep.runs:
@@ -154,6 +169,7 @@ def differential_check(
     seed: int = 0,
     legs: Sequence[str] = DIFFERENTIAL_LEGS,
     hashseeds: tuple[int, int] = (1, 2),
+    engine: str = "heap",
 ) -> list[SanFinding]:
     """Run the differential determinism legs for one scenario smoke.
 
@@ -162,7 +178,9 @@ def differential_check(
     leg silently narrows to smokes without co-runners (co-runner
     factories are module-level and pickle fine, but the leg's value is
     in re-deriving the *app* path across processes, and keeping it
-    uniform keeps digests comparable).
+    uniform keeps digests comparable).  ``engine`` is the backend the
+    hashseed/observers/workers perturbations run under; the ``engines``
+    leg always compares the heap-vs-batched pair regardless.
     """
     unknown = [leg for leg in legs if leg not in DIFFERENTIAL_LEGS]
     if unknown:
@@ -172,15 +190,21 @@ def differential_check(
     smoke = scenario_smokes()[name]
     findings: list[SanFinding] = []
     if "hashseed" in legs:
-        a = subprocess_digest(name, seed=seed, hashseed=hashseeds[0])
-        b = subprocess_digest(name, seed=seed, hashseed=hashseeds[1])
+        a = subprocess_digest(name, seed=seed, hashseed=hashseeds[0], engine=engine)
+        b = subprocess_digest(name, seed=seed, hashseed=hashseeds[1], engine=engine)
         findings += compare_digests("hashseed", a, b, context=name)
     if "observers" in legs:
-        a = scenario_digest(name, seed=seed, observers=False)
-        b = scenario_digest(name, seed=seed, observers=True)
+        a = scenario_digest(name, seed=seed, observers=False, engine=engine)
+        b = scenario_digest(name, seed=seed, observers=True, engine=engine)
         findings += compare_digests("observers", a, b, context=name)
     if "workers" in legs and not smoke.corunners:
-        a = _workers_digest(smoke, workers=1, seeds=range(seed, seed + 2))
-        b = _workers_digest(smoke, workers=2, seeds=range(seed, seed + 2))
+        a = _workers_digest(smoke, workers=1, seeds=range(seed, seed + 2),
+                            engine=engine)
+        b = _workers_digest(smoke, workers=2, seeds=range(seed, seed + 2),
+                            engine=engine)
         findings += compare_digests("workers", a, b, context=name)
+    if "engines" in legs:
+        a = scenario_digest(name, seed=seed, engine="heap")
+        b = scenario_digest(name, seed=seed, engine="batched")
+        findings += compare_digests("engines", a, b, context=name)
     return findings

@@ -32,6 +32,7 @@ from repro.core import analytical
 from repro.harness import report
 from repro.harness.experiment import BALANCER_MODES, repeat_run, run_app
 from repro.harness.parallel import MACHINE_PRESETS
+from repro.sim.backends import backend_names
 from repro.topology import presets
 
 #: the named machines (shared with repro.harness.parallel run specs)
@@ -83,6 +84,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rr = repeat_run(
             machine, spec, balancer=mode, cores=args.cores,
             seeds=range(args.repeats), workers=args.workers,
+            engine=args.engine,
         )
         rows.append([
             mode.upper(),
@@ -233,7 +235,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             print(f"repro: error: unknown scenario {args.digest!r}; "
                   f"expected one of {sorted(smokes)}", file=sys.stderr)
             return 2
-        result, system = smoke.run(seed=args.seed)
+        result, system = smoke.run(seed=args.seed, engine=args.engine)
         print(run_digest(result, system.trace, system.engine))
         return 0
 
@@ -246,7 +248,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
 
     findings = []
     for name in names:
-        result, system = smokes[name].run(seed=args.seed)
+        result, system = smokes[name].run(seed=args.seed, engine=args.engine)
         found = sanitize_system(system, result=result, context=name)
         findings.extend(found)
         if not args.json:
@@ -259,7 +261,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         from repro.analysis.differential import differential_check
 
         for name in names:
-            diff = differential_check(name, seed=args.seed)
+            diff = differential_check(name, seed=args.seed, engine=args.engine)
             findings.extend(diff)
             if not args.json:
                 print(f"{name}: differential {'ok' if not diff else 'DIVERGED'}")
@@ -326,32 +328,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     """
     from repro.harness import bench
 
-    if args.events_only and args.wall_only:
-        print("repro bench: --events-only and --wall-only are mutually "
-              "exclusive", file=sys.stderr)
-        return 2
-
     if args.profile is not None:
-        print(bench.profile_benches(quick=args.quick, top_n=args.profile),
+        print(bench.profile_benches(quick=args.quick, top_n=args.profile,
+                                    engine=args.engine),
               end="")
         return 0
 
+    if args.compare is not None and len(args.compare) > 2:
+        print("repro bench: --compare takes one payload (against "
+              "--baseline) or exactly two", file=sys.stderr)
+        return 2
+
+    if args.compare is not None and len(args.compare) == 2:
+        return _bench_compare_pair(args, bench)
+
     if args.compare is not None:
         if args.baseline is None:
-            print("repro bench: --compare requires --baseline",
+            print("repro bench: --compare with one payload requires "
+                  "--baseline (or give two payloads: --compare A B)",
                   file=sys.stderr)
             return 2
-        payload = bench.load_payload(args.compare)
+        payload = bench.load_payload(args.compare[0])
     else:
         results = bench.run_benches(
             quick=args.quick,
             rounds=args.rounds,
+            engine=args.engine,
             progress=lambda r: print(
                 f"  {r.name}: {r.wall_s:.3f}s, {r.events} events "
                 f"({r.events_per_sec / 1e3:.0f}k ev/s, best of {r.rounds})"
             ),
         )
-        payload = bench.to_payload(results, label=args.label, quick=args.quick)
+        payload = bench.to_payload(results, label=args.label, quick=args.quick,
+                                   engine=args.engine)
         path = bench.write_payload(payload, out_dir=args.out)
         print(f"wrote {path}")
 
@@ -400,6 +409,70 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_compare_pair(args: argparse.Namespace, bench) -> int:
+    """``repro bench --compare A.json B.json``: the head-to-head form.
+
+    Treats the first payload as the reference and the second as the
+    candidate, prints a per-bench speedup table (reference wall over
+    candidate wall, so >1.0 means the candidate is faster) and exits
+    non-zero when the candidate is more than ``--threshold`` percent
+    slower on any bench.  The deterministic event-count check still runs
+    first (exit 2 on drift) unless ``--wall-only``; cross-engine pairs
+    are the intended use -- matching counts are the batching parity
+    tripwire.
+    """
+    if args.baseline is not None:
+        print("repro bench: --baseline does not combine with the "
+              "two-payload --compare form", file=sys.stderr)
+        return 2
+    ref_path, cand_path = args.compare
+    ref = bench.load_payload(ref_path)
+    cand = bench.load_payload(cand_path)
+    comparisons = bench.compare_payloads(ref, cand,
+                                         threshold_pct=args.threshold)
+    if not comparisons:
+        print("repro bench: the two payloads share no bench cases",
+              file=sys.stderr)
+        return 2
+
+    if not args.wall_only:
+        mismatched = [c for c in comparisons if c.events_mismatch]
+        if mismatched:
+            for c in mismatched:
+                print(f"repro bench: events mismatch in {c.name}: "
+                      f"{ref_path} has {c.baseline_events}, {cand_path} "
+                      f"has {c.events} (determinism regression)",
+                      file=sys.stderr)
+            return 2
+        print(f"events: {len(comparisons)} bench(es) match between "
+              f"{ref_path} and {cand_path}")
+    if args.events_only:
+        return 0
+
+    rows = [
+        [c.name, c.baseline_wall_s, c.wall_s,
+         c.baseline_wall_s / c.wall_s if c.wall_s > 0 else 0.0,
+         "REGRESSED" if c.regressed else "ok"]
+        for c in comparisons
+    ]
+    print(report.table(
+        ["bench", f"{ref.get('engine', '?')} s", f"{cand.get('engine', '?')} s",
+         "speedup", "status"],
+        rows,
+        title=(f"{ref_path} ({ref['label']}) vs {cand_path} "
+               f"({cand['label']}); speedup >1.0 = second payload faster, "
+               f"threshold {args.threshold:g}%"),
+        float_fmt="{:.4g}",
+    ))
+    regressed = [c for c in comparisons if c.regressed]
+    if regressed:
+        names = ", ".join(c.name for c in regressed)
+        print(f"repro bench: {len(regressed)} regression(s) beyond "
+              f"{args.threshold:g}%: {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 # content-addressed store + job service (repro.store / repro.service)
 # ----------------------------------------------------------------------
@@ -430,6 +503,7 @@ def _submit_specs(args: argparse.Namespace) -> list:
     return [
         RunSpec.make(
             args.machine, app, balancer=mode, cores=args.cores, seed=seed,
+            engine=args.engine,
         )
         for mode in args.balancer
         for seed in range(args.repeats)
@@ -593,6 +667,14 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", default="heap", choices=backend_names(),
+        help="event-dispatch backend (default: heap; backends are "
+             "digest-equivalent, see repro.sim.backends)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -621,6 +703,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the seed repeats (results are "
              "bit-identical to --workers 1; see docs/performance.md)",
     )
+    _add_engine_arg(run)
 
     model = sub.add_parser("model", help="print the Section 4 analytical model")
     model.add_argument("--threads", type=int, required=True)
@@ -690,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default=".repro-store",
         help="store directory for --stored (default: .repro-store)",
     )
+    _add_engine_arg(sanitize)
 
     bench = sub.add_parser(
         "bench",
@@ -725,21 +809,25 @@ def build_parser() -> argparse.ArgumentParser:
              "writes no payload",
     )
     bench.add_argument(
-        "--compare", default=None, metavar="BENCH_JSON",
-        help="skip running: compare an existing BENCH_*.json against "
+        "--compare", default=None, nargs="+", metavar="BENCH_JSON",
+        help="skip running: with one payload, compare it against "
              "--baseline (lets CI split the events and wall-time checks "
-             "without re-running the suite)",
+             "without re-running the suite); with two payloads, print a "
+             "head-to-head per-bench speedup table (second over first) "
+             "and exit 1 on regressions beyond --threshold",
     )
-    bench.add_argument(
+    only = bench.add_mutually_exclusive_group()
+    only.add_argument(
         "--events-only", action="store_true",
         help="only run the deterministic events check against the "
              "baseline; skip the wall-time threshold",
     )
-    bench.add_argument(
+    only.add_argument(
         "--wall-only", action="store_true",
         help="only run the wall-time threshold check against the "
              "baseline; skip the events check",
     )
+    _add_engine_arg(bench)
 
     submit = sub.add_parser(
         "submit",
@@ -778,6 +866,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit [{digest, result}] as JSON instead of a table",
     )
+    _add_engine_arg(submit)
 
     status = sub.add_parser(
         "status", help="list the entries of a content-addressed store",

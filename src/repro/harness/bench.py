@@ -35,7 +35,7 @@ from typing import Callable, Optional, Sequence, Union
 from repro.apps.multiprogram import CpuHog
 from repro.apps.workloads import AppSpec
 from repro.harness.experiment import run_app
-from repro.sim.engine import Engine
+from repro.sim.backends import make_engine
 from repro.topology import presets
 
 __all__ = [
@@ -71,12 +71,12 @@ class BenchResult:
 # bench cases: each returns a zero-arg callable whose result is the
 # number of engine events the round dispatched
 # ----------------------------------------------------------------------
-def _engine_throughput(quick: bool) -> Callable[[], int]:
+def _engine_throughput(quick: bool, engine: str) -> Callable[[], int]:
     """The bare dispatch loop: n self-scheduling events, no simulator."""
     n = 20_000 if quick else 100_000
 
     def round() -> int:
-        eng = Engine()
+        eng = make_engine(engine)
         count = [0]
 
         def tick() -> None:
@@ -91,7 +91,7 @@ def _engine_throughput(quick: bool) -> Callable[[], int]:
     return round
 
 
-def _scenario(spec: AppSpec, balancer: str, cores: int,
+def _scenario(spec: AppSpec, balancer: str, cores: int, engine: str,
               corunner: bool = False, machine: str = "tigerton",
               trace: bool = False) -> Callable[[], int]:
     def round() -> int:
@@ -99,35 +99,35 @@ def _scenario(spec: AppSpec, balancer: str, cores: int,
         _, system = run_app(
             getattr(presets, machine)(), spec, balancer=balancer, cores=cores,
             seed=1, corunner_factories=corunners, return_system=True,
-            trace=trace,
+            trace=trace, engine=engine,
         )
         return system.engine.dispatched
 
     return round
 
 
-def _ep_dedicated(quick: bool) -> Callable[[], int]:
+def _ep_dedicated(quick: bool, engine: str) -> Callable[[], int]:
     """Figure 3 shape: dedicated EP, 16 threads on 12 Tigerton cores."""
     spec = AppSpec(bench="ep.C", n_threads=16, wait="yield",
                    total_compute_us=100_000 if quick else 1_000_000)
-    return _scenario(spec, "speed", 12)
+    return _scenario(spec, "speed", 12, engine)
 
 
-def _fine_grained_barriers(quick: bool) -> Callable[[], int]:
+def _fine_grained_barriers(quick: bool, engine: str) -> Callable[[], int]:
     """Figure 2 / cg.B shape: 4 ms barriers, the event-heaviest shape."""
     spec = AppSpec(bench="cg.B", n_threads=16, wait="yield",
                    total_compute_us=50_000 if quick else 200_000)
-    return _scenario(spec, "speed", 12)
+    return _scenario(spec, "speed", 12, engine)
 
 
-def _multiprogrammed_hog(quick: bool) -> Callable[[], int]:
+def _multiprogrammed_hog(quick: bool, engine: str) -> Callable[[], int]:
     """Figure 5 shape: sleeping-wait EP sharing the machine with a hog."""
     spec = AppSpec(bench="ep.C", n_threads=8, wait="sleep",
                    total_compute_us=100_000 if quick else 500_000)
-    return _scenario(spec, "speed", 8, corunner=True)
+    return _scenario(spec, "speed", 8, engine, corunner=True)
 
 
-def _yield_heavy_barriers(quick: bool) -> Callable[[], int]:
+def _yield_heavy_barriers(quick: bool, engine: str) -> Callable[[], int]:
     """Oversubscribed 1 ms-barrier yield loop: the sched_yield path.
 
     Twelve yielding threads on eight cores hit a barrier every
@@ -138,10 +138,10 @@ def _yield_heavy_barriers(quick: bool) -> Callable[[], int]:
     spec = AppSpec(bench="cg.B", n_threads=12, wait="yield",
                    total_compute_us=30_000 if quick else 150_000,
                    barrier_period_us=1_000)
-    return _scenario(spec, "speed", 8)
+    return _scenario(spec, "speed", 8, engine)
 
 
-def _numa_barcelona(quick: bool) -> Callable[[], int]:
+def _numa_barcelona(quick: bool, engine: str) -> Callable[[], int]:
     """NUMA shape: sp.A on Barcelona, node-scoped memory contention.
 
     Exercises the per-node mem-intensity aggregate (Barcelona's
@@ -150,18 +150,18 @@ def _numa_barcelona(quick: bool) -> Callable[[], int]:
     """
     spec = AppSpec(bench="sp.A", n_threads=12, wait="yield",
                    total_compute_us=60_000 if quick else 300_000)
-    return _scenario(spec, "speed", 8, machine="barcelona")
+    return _scenario(spec, "speed", 8, engine, machine="barcelona")
 
 
-def _traced_run(quick: bool) -> Callable[[], int]:
+def _traced_run(quick: bool, engine: str) -> Callable[[], int]:
     """A fully traced run: the columnar recorder on the charge path."""
     spec = AppSpec(bench="cg.B", n_threads=16, wait="yield",
                    total_compute_us=50_000 if quick else 200_000)
-    return _scenario(spec, "speed", 12, trace=True)
+    return _scenario(spec, "speed", 12, engine, trace=True)
 
 
 #: name -> case builder; insertion order is report order
-CASES: dict[str, Callable[[bool], Callable[[], int]]] = {
+CASES: dict[str, Callable[[bool, str], Callable[[], int]]] = {
     "engine_throughput": _engine_throughput,
     "ep_dedicated": _ep_dedicated,
     "fine_grained_barriers": _fine_grained_barriers,
@@ -180,15 +180,23 @@ def run_benches(
     quick: bool = False,
     rounds: Optional[int] = None,
     progress: Optional[Callable[[BenchResult], None]] = None,
+    engine: str = "heap",
 ) -> list[BenchResult]:
-    """Run every case ``rounds`` times; keep the best wall time."""
+    """Run every case ``rounds`` times; keep the best wall time.
+
+    ``engine`` selects the event-dispatch backend for every case (see
+    :mod:`repro.sim.backends`).  Backends are digest-equivalent, so the
+    per-bench event counts must not move with this knob -- comparing a
+    batched payload against a heap baseline checks exactly that while
+    the wall-time columns measure the backend speedup.
+    """
     if rounds is None:
         rounds = 3
     if rounds < 1:
         raise ValueError(f"rounds must be >= 1 (got {rounds})")
     results = []
     for name, build in CASES.items():
-        round_fn = build(quick)
+        round_fn = build(quick, engine)
         best: Optional[float] = None
         events = 0
         for _ in range(rounds):
@@ -212,6 +220,7 @@ def profile_benches(
     quick: bool = False,
     top_n: int = 15,
     names: Optional[Sequence[str]] = None,
+    engine: str = "heap",
 ) -> str:
     """Run each case once under cProfile; return a per-case report.
 
@@ -233,7 +242,7 @@ def profile_benches(
         )
     sections = []
     for name in selected:
-        round_fn = CASES[name](quick)
+        round_fn = CASES[name](quick, engine)
         prof = cProfile.Profile()
         prof.enable()
         events = round_fn()
@@ -251,7 +260,9 @@ def profile_benches(
 # ----------------------------------------------------------------------
 # payloads: BENCH_<label>.json
 # ----------------------------------------------------------------------
-def to_payload(results: list[BenchResult], label: str, quick: bool) -> dict:
+def to_payload(
+    results: list[BenchResult], label: str, quick: bool, engine: str = "heap"
+) -> dict:
     if not re.fullmatch(r"[A-Za-z0-9_-]+", label):
         raise ValueError(
             f"invalid bench label {label!r}: labels become the "
@@ -261,6 +272,7 @@ def to_payload(results: list[BenchResult], label: str, quick: bool) -> dict:
         "schema": BENCH_SCHEMA,
         "label": label,
         "quick": quick,
+        "engine": engine,
         "benches": {
             r.name: {**asdict(r), "events_per_sec": round(r.events_per_sec, 1)}
             for r in results
@@ -317,6 +329,11 @@ def compare_payloads(
     count differs at all.  Benches present in only one payload are
     skipped (new benches have no trajectory yet).  Comparing a quick
     run against a full baseline is refused: their workloads differ.
+
+    Payloads recorded under *different engine backends* compare fine --
+    deliberately so.  Backends are digest-equivalent, which makes the
+    cross-engine event-count columns the batching parity tripwire, and
+    the wall-time columns the backend speedup measurement.
     """
     if baseline.get("quick") != current.get("quick"):
         raise ValueError(

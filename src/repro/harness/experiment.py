@@ -76,6 +76,7 @@ def run_app(
     scheduler: str = "cfs",
     instrument: Optional[Callable[[System], None]] = None,
     trace: Union[bool, TraceRecorder] = False,
+    engine: str = "heap",
 ):
     """Run one application to completion under one balancer mode.
 
@@ -107,11 +108,15 @@ def run_app(
         instance to control the record cap).  Combine with
         ``return_system`` to analyze the trace post hoc -- this is how
         ``repro sanitize`` feeds the schedule sanitizer.
+    engine:
+        Event-dispatch backend (see :mod:`repro.sim.backends`): "heap"
+        (default) or "batched".  Backends are digest-equivalent; the
+        choice only affects wall-clock speed.
     """
     m = machine() if callable(machine) else machine
     system = System(
         m, seed=seed, cfs_params=cfs_params, cache_model=cache_model,
-        scheduler=scheduler, trace=trace,
+        scheduler=scheduler, trace=trace, engine=engine,
     )
     system.set_balancer(make_kernel_balancer(balancer, linux_params))
 

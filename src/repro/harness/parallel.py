@@ -107,6 +107,11 @@ class RunSpec:
     balancer: str = "speed"
     cores: Optional[Union[int, tuple[int, ...]]] = None
     seed: int = 0
+    #: event-dispatch backend (see :mod:`repro.sim.backends`).  A first-
+    #: class field -- never folded into ``params`` -- so a spec has
+    #: exactly one representation of its engine and the store key (see
+    #: :func:`repro.store.keys.spec_key`) records it explicitly.
+    engine: str = "heap"
     params: tuple[tuple[str, Any], ...] = ()
 
     @classmethod
@@ -117,6 +122,7 @@ class RunSpec:
         balancer: str = "speed",
         cores: Optional[Union[int, Sequence[int]]] = None,
         seed: int = 0,
+        engine: str = "heap",
         **params: Any,
     ) -> "RunSpec":
         if cores is not None and not isinstance(cores, int):
@@ -127,6 +133,7 @@ class RunSpec:
             balancer=balancer,
             cores=cores,
             seed=seed,
+            engine=engine,
             params=tuple(sorted(params.items())),
         )
 
@@ -142,6 +149,7 @@ def run_spec(spec: RunSpec) -> AppRunResult:
         balancer=spec.balancer,
         cores=cores,
         seed=spec.seed,
+        engine=spec.engine,
         **dict(spec.params),
     )
 

@@ -329,7 +329,7 @@ class ScenarioSmoke:
     corunners: tuple[str, ...] = ()
     speed_config: Optional[SpeedBalancerConfig] = field(default=None)
 
-    def run(self, seed: int = 0, instrument=None):
+    def run(self, seed: int = 0, instrument=None, engine: str = "heap"):
         """Execute the smoke under full tracing; (result, system)."""
         return run_app(
             _machine(self.machine),
@@ -342,9 +342,10 @@ class ScenarioSmoke:
             trace=True,
             return_system=True,
             instrument=instrument,
+            engine=engine,
         )
 
-    def spec(self, seed: int = 0):
+    def spec(self, seed: int = 0, engine: str = "heap"):
         """The same configuration as a storable, digestable ``RunSpec``.
 
         ``run_app(**spec)`` and :meth:`run` build byte-identical
@@ -368,6 +369,7 @@ class ScenarioSmoke:
             balancer=self.balancer,
             cores=self.cores,
             seed=seed,
+            engine=engine,
             **kwargs,
         )
 

@@ -78,6 +78,7 @@ def _run_spec_traced(spec: RunSpec) -> tuple[AppRunResult, object]:
         balancer=spec.balancer,
         cores=cores,
         seed=spec.seed,
+        engine=spec.engine,
         trace=True,
         return_system=True,
         **dict(spec.params),

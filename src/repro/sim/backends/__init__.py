@@ -1,0 +1,70 @@
+"""Pluggable event-dispatch backends for the simulation engine.
+
+The simulator's public contract is the :class:`~repro.sim.engine.Engine`
+interface (``schedule``/``run``/``step``/``fingerprint``); *how* the
+event queue is stored and drained is an implementation detail this
+package makes swappable:
+
+``heap``
+    The original binary heap of ``(time, seq, event)`` triples
+    (:class:`~repro.sim.engine.Engine` itself).  The conservative
+    default.
+``batched``
+    A calendar-queue backend (:class:`~repro.sim.backends.batched
+    .BatchedEngine`): one FIFO bucket per distinct integer timestamp,
+    drained a whole bucket ("tick") at a time.  Same-time events fire
+    in sequence order exactly as the heap does, so every run digest is
+    unchanged; it additionally flips :attr:`Engine.batching` on, which
+    arms the batch-aware memoization fast paths in
+    :class:`~repro.sched.core.CoreSim` and
+    :class:`~repro.balance.linux.LinuxLoadBalancer`.
+
+Backends are selected by name everywhere a simulation is configured --
+``System(engine=...)``, ``run_app(engine=...)``, ``RunSpec.engine``
+(and therefore the content-addressed store key), ``repro run/bench/
+sanitize/submit --engine``.  The golden run digests in the test suite
+are parametrized over every backend, which is what makes a swap this
+deep shippable: bit-identical behaviour is enforced mechanically, not
+argued.
+"""
+
+from __future__ import annotations
+
+from repro.sim.backends.batched import BatchedEngine
+from repro.sim.backends.heap import HeapEngine
+from repro.sim.engine import Engine
+
+__all__ = [
+    "ENGINE_BACKENDS",
+    "BatchedEngine",
+    "HeapEngine",
+    "backend_names",
+    "make_engine",
+]
+
+#: backend name -> engine class; insertion order is documentation order
+ENGINE_BACKENDS: dict[str, type[Engine]] = {
+    "heap": HeapEngine,
+    "batched": BatchedEngine,
+}
+
+
+def backend_names() -> tuple[str, ...]:
+    """The selectable backend names, default first."""
+    return tuple(ENGINE_BACKENDS)
+
+
+def make_engine(name: str, max_events: int = 200_000_000) -> Engine:
+    """Instantiate the engine backend called ``name``.
+
+    Raises ``ValueError`` for unknown names (argparse ``choices`` catch
+    this earlier on the CLI; this guards the library path).
+    """
+    try:
+        cls = ENGINE_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine backend {name!r}; expected one of "
+            f"{backend_names()}"
+        ) from None
+    return cls(max_events=max_events)

@@ -1,0 +1,259 @@
+"""The batched dispatch backend: a calendar queue drained per tick.
+
+Scenario workloads are dominated by events that land on shared integer
+timestamps -- barrier releases wake every waiter at one instant,
+balancer ticks and scheduler slices quantize onto the same 10 ms grid.
+The heap backend pays an O(log n) tuple-comparison pop per event; this
+backend keys a dict of FIFO *buckets* by the integer timestamp and a
+small min-heap of distinct times, so draining one simulated instant
+("tick") costs one heap pop for the whole batch plus an O(1) popleft
+per event.
+
+Ordering is bit-identical to the heap by construction:
+
+* the global sequence number is monotonically increasing, so appending
+  to a time's bucket preserves (time, seq) order -- a bucket *is* the
+  contiguous run of heap entries for that time;
+* a callback scheduling new work at the current instant appends to the
+  live bucket, which the drain loop picks up exactly where the heap's
+  pop-next-smallest would;
+* cancellation stays lazy (cancelled events are skipped on drain), and
+  compaction only rewrites strictly-future buckets, so the bucket
+  being drained is never mutated under the loop.
+
+Per-event semantics (observer order, the backwards-time guard, the
+``max_events`` limit firing after the dispatch count increments but
+before the callback, ``stop()`` taking effect before the next event of
+the same batch) replicate :meth:`Engine._drain` line for line; the
+golden-digest suite holds the two backends to that.
+
+:attr:`Engine.batching` is True here, which arms the batch-aware
+memoization paths in :class:`~repro.sched.core.CoreSim` (per-scope
+contention rates computed once per (time, scope) epoch) and
+:class:`~repro.balance.linux.LinuxLoadBalancer` (no-op balance passes
+replayed from a load-epoch memo).  Those caches are versioned by
+monotonic epoch counters bumped on every relevant mutation, so a stale
+entry can never match; recomputation performs the identical float
+operations in the identical order, keeping every digest unchanged.
+"""
+
+from __future__ import annotations
+
+import gc
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import _COMPACT_MIN_HEAP, Engine, Event, SimulationError
+
+__all__ = ["BatchedEngine"]
+
+
+class BatchedEngine(Engine):
+    """Calendar-queue engine: one FIFO bucket per integer timestamp."""
+
+    #: arms the batch-aware memoization fast paths in the layers above
+    batching = True
+
+    def __init__(self, max_events: int = 200_000_000):
+        super().__init__(max_events=max_events)
+        #: time -> FIFO of events at that time (appended in seq order)
+        self._buckets: dict[int, deque[Event]] = {}
+        #: min-heap of distinct bucket times; may hold stale times whose
+        #: bucket a compaction emptied (skipped lazily on drain)
+        self._times: list[int] = []
+        #: events resident in buckets (live + not-yet-purged cancelled);
+        #: the batched analogue of ``len(self._heap)``
+        self._size: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[[], Any], label: str = "") -> Event:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}us in the past (now={self.now})")
+        # inlined bucket insert (shared with schedule_at): this is the
+        # hottest allocation site, so it pays to skip a helper frame
+        time = self.now + int(delay)
+        ev = Event(time, self._seq, callback, label, self)
+        self._seq += 1
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = deque((ev,))
+            heappush(self._times, time)
+        else:
+            bucket.append(ev)
+        self._size += 1
+        return ev
+
+    def schedule_at(self, time: int, callback: Callable[[], Any], label: str = "") -> Event:
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at t={time} before now={self.now}")
+        time = int(time)
+        ev = Event(time, self._seq, callback, label, self)
+        self._seq += 1
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = deque((ev,))
+            heappush(self._times, time)
+        else:
+            bucket.append(ev)
+        self._size += 1
+        return ev
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> None:
+        """Dispatch events in time order, with the cycle collector off.
+
+        The drain loop allocates heavily (an Event and usually a
+        closure per dispatch) but drops its garbage promptly via
+        refcounting; Python's cycle collector only adds periodic sweep
+        pauses on top.  Disabling it for the duration of the run is
+        semantically invisible -- nothing in the simulator relies on
+        collection timing -- and is restored even when the run raises.
+        """
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            super().run(until)
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    def _drain(self, until: Optional[int], single: bool) -> bool:
+        buckets = self._buckets
+        times = self._times
+        limit = self.max_events
+        observers = self.observers  # alias, not copy: live hook list
+        dispatched_any = False
+        while times:
+            t = times[0]
+            bucket = buckets.get(t)
+            if bucket is None:  # stale time left behind by a compaction
+                heappop(times)
+                continue
+            if until is not None and t > until:
+                # the heap loop purges cancelled entries even past
+                # ``until`` while they lead the queue; mirror that so
+                # ``pending`` agrees between backends
+                while bucket and bucket[0].cancelled:
+                    ev = bucket.popleft()
+                    ev.in_heap = False
+                    self._cancelled -= 1
+                    self._size -= 1
+                if bucket:
+                    break
+                del buckets[t]
+                heappop(times)
+                continue
+            # Drain the bucket front-first.  Callbacks may append events
+            # for the current instant; the ``while bucket`` re-check
+            # picks them up in seq order, exactly as the heap would.
+            while bucket:
+                if not single and self._stop_requested:
+                    return dispatched_any
+                ev = bucket.popleft()
+                ev.in_heap = False
+                self._size -= 1
+                if ev.cancelled:
+                    self._cancelled -= 1
+                    continue
+                if observers:
+                    for obs in observers:
+                        obs(ev)
+                if t < self.now:  # pragma: no cover - defensive
+                    raise SimulationError("event queue time went backwards")
+                self.now = t
+                d = self._dispatched + 1
+                self._dispatched = d
+                if d > limit:
+                    raise SimulationError(
+                        f"event limit exceeded ({limit}); "
+                        f"likely livelock near t={self.now} (last: {ev.label!r})"
+                    )
+                ev.callback()
+                if single:
+                    if not bucket:
+                        del buckets[t]
+                        heappop(times)
+                    return True
+                dispatched_any = True
+            # bucket exhausted: callbacks cannot have created a smaller
+            # time (schedule guards time >= now == t) nor re-pushed t
+            # (the bucket existed throughout), so times[0] is still t
+            del buckets[t]
+            heappop(times)
+        return dispatched_any
+
+    # ------------------------------------------------------------------
+    # cancelled-entry accounting
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if self._cancelled * 2 > self._size and self._size >= _COMPACT_MIN_HEAP:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from strictly-future buckets.
+
+        The bucket at ``now`` may be mid-drain (cancel is most often
+        called from inside a callback), so it is left alone; its
+        cancelled entries are reclaimed when the drain loop reaches
+        them within this same instant.  Emptied buckets are deleted;
+        their entries in ``_times`` go stale and are skipped lazily.
+        """
+        now = self.now
+        buckets = self._buckets
+        removed = 0
+        dead_times = []
+        for t, bucket in buckets.items():
+            if t <= now:
+                continue
+            live = [ev for ev in bucket if not ev.cancelled]
+            dropped = len(bucket) - len(live)
+            if not dropped:
+                continue
+            for ev in bucket:
+                if ev.cancelled:
+                    ev.in_heap = False
+            removed += dropped
+            if live:
+                buckets[t] = deque(live)
+            else:
+                dead_times.append(t)
+        for t in dead_times:
+            del buckets[t]
+        self._cancelled -= removed
+        self._size -= removed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._size - self._cancelled
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or None if the queue is empty."""
+        buckets = self._buckets
+        times = self._times
+        while times:
+            t = times[0]
+            bucket = buckets.get(t)
+            if bucket is None:
+                heappop(times)
+                continue
+            while bucket and bucket[0].cancelled:
+                ev = bucket.popleft()
+                ev.in_heap = False
+                self._cancelled -= 1
+                self._size -= 1
+            if bucket:
+                return t
+            del buckets[t]
+            heappop(times)
+        return None

@@ -179,6 +179,10 @@ def spec_key(spec: RunSpec) -> dict:
         "balancer": spec.balancer,
         "cores": canonical_value(spec.cores),
         "seed": spec.seed,
+        # backends are digest-equivalent but not wall-clock-equivalent;
+        # keying the engine keeps cached timings honest and lets the two
+        # backends' artifacts coexist in one store
+        "engine": spec.engine,
         "params": {
             name: canonical_value(value) for name, value in spec.params
         },

@@ -33,6 +33,7 @@ from repro.metrics.trace import TraceRecorder
 from repro.sched.cfs import CfsParams, O1Params
 from repro.sched.core import CoreSim
 from repro.sched.task import Task, TaskState
+from repro.sim.backends import make_engine
 from repro.sim.engine import Engine
 from repro.sim.rng import SimRng
 from repro.topology.machine import Machine
@@ -87,6 +88,12 @@ class System:
         Per-core scheduling policy: ``"cfs"`` (Linux >= 2.6.23, the
         default) or ``"o1"`` (the pre-CFS fixed-quantum round robin of
         the 2.6.22 kernel DWRR was prototyped on).
+    engine:
+        Event-dispatch backend: ``"heap"`` (the default binary heap) or
+        ``"batched"`` (calendar-queue buckets drained per tick, with
+        the batch-aware memoization fast paths armed).  Backends are
+        bit-identical in behaviour -- the golden-digest suite enforces
+        it -- and differ only in speed; see :mod:`repro.sim.backends`.
     """
 
     def __init__(
@@ -99,9 +106,12 @@ class System:
         migration_log_limit: int = 100_000,
         trace: Union[bool, TraceRecorder] = False,
         scheduler: str = "cfs",
+        engine: str = "heap",
     ):
         self.machine = machine
-        self.engine = Engine()
+        self.engine: Engine = make_engine(engine)
+        #: the backend name behind :attr:`engine` (spec/key plumbing)
+        self.engine_backend = engine
         self.rng = SimRng(seed)
         if scheduler not in ("cfs", "o1"):
             raise ValueError("scheduler must be 'cfs' or 'o1'")
@@ -124,6 +134,21 @@ class System:
         #: reproduces the old all-core sweep's float result bit-exactly
         #: (adding 0.0 is exact, so skipping idle/zero cores is too).
         self._mem_scope_busy: dict[int, list[tuple[int, float]]] = {}
+        #: scope key -> one-element version cell, bumped whenever that
+        #: scope's _mem_scope_busy list changes.  The batched backend's
+        #: per-core contention-rate memo is keyed on it; a recompute on
+        #: version change sums the same floats in the same order, so the
+        #: memo is invisible to digests.
+        self._mem_scope_epoch: dict[int, list[int]] = {}
+        #: global load epoch: a one-element cell bumped on every
+        #: mutation that can change any core's ``nr_running`` (enqueue/
+        #: dequeue/interrupt/put-back/dispatch).  Monotonic, so a memo
+        #: entry keyed on a stale epoch can never falsely match.  The
+        #: Linux balancer's no-op-pass memo (armed under the batched
+        #: engine) reads it; the lone-task redispatch fast path touches
+        #: no queue state and leaves it alone, which is exactly why
+        #: steady-state balancer ticks collapse to memo hits.
+        self._load_epoch: list[int] = [0]
         #: per-core residency: cid -> {tid: Task} of tasks whose
         #: current-or-last core is cid (see note_residency)
         self._residents: list[dict[int, Task]] = [{} for _ in machine.cores]

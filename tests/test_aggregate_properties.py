@@ -14,12 +14,14 @@ here is a determinism regression (an *intentional* behaviour change
 must update the goldens alongside an explanation).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.sanitizer import run_digest
 from repro.sched.runqueue import CfsRunQueue, O1RunQueue
 from repro.sched.task import Task
+from repro.sim.backends import backend_names
 
 # operation stream over a bounded task universe:
 #   ("push", slot, vruntime, weight) | ("pop",) |
@@ -173,23 +175,30 @@ GOLDEN_RUN_DIGESTS = {
 
 
 class TestScenarioDigestParity:
-    """Every scenario smoke reproduces its pre-overhaul run digest."""
+    """Every scenario smoke reproduces its pre-overhaul run digest.
+
+    Parametrized over every event-dispatch backend: the batched engine
+    must hit the same goldens as the heap, which is the digest wall the
+    batching fast paths live behind.
+    """
 
     def test_goldens_cover_every_smoke(self):
         from repro.harness.scenarios import scenario_smokes
 
         assert set(scenario_smokes()) == set(GOLDEN_RUN_DIGESTS)
 
-    def test_run_digests_match_goldens(self):
+    @pytest.mark.parametrize("engine", backend_names())
+    def test_run_digests_match_goldens(self, engine):
         from repro.harness.scenarios import scenario_smokes
 
         drifted = {}
         for name, smoke in scenario_smokes().items():
-            result, system = smoke.run()
+            result, system = smoke.run(engine=engine)
             digest = run_digest(result, system.trace, system.engine)
             if digest != GOLDEN_RUN_DIGESTS[name]:
                 drifted[name] = digest
         assert not drifted, (
-            "run_digest drift vs the pre-overhaul goldens (determinism "
-            f"regression unless the behaviour change was intended): {drifted}"
+            f"run_digest drift vs the pre-overhaul goldens under the "
+            f"{engine!r} backend (determinism regression unless the "
+            f"behaviour change was intended): {drifted}"
         )

@@ -1,0 +1,246 @@
+"""The pluggable event-dispatch backends (repro.sim.backends).
+
+The batched calendar-queue backend claims bit-identical behaviour to
+the heap engine.  The scenario golden digests enforce that end to end;
+these tests pin the per-primitive semantics the claim rests on --
+same-time FIFO order, lazy cancellation, ``until``/``stop``/``step``
+edge cases, compaction -- plus a randomized differential harness that
+drives both backends through identical schedule/cancel churn and
+compares every observable.
+"""
+
+import gc
+import random
+
+import pytest
+
+from repro.sim.backends import (
+    ENGINE_BACKENDS,
+    BatchedEngine,
+    HeapEngine,
+    backend_names,
+    make_engine,
+)
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestRegistry:
+    def test_backend_names_default_first(self):
+        assert backend_names() == ("heap", "batched")
+
+    def test_make_engine_types(self):
+        assert type(make_engine("heap")) is HeapEngine
+        assert type(make_engine("batched")) is BatchedEngine
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            make_engine("btree")
+
+    def test_batching_flags(self):
+        # the heap default must keep the memo fast paths disarmed
+        assert HeapEngine.batching is False
+        assert Engine.batching is False
+        assert BatchedEngine.batching is True
+
+    def test_all_backends_are_engines(self):
+        for cls in ENGINE_BACKENDS.values():
+            assert issubclass(cls, Engine)
+
+
+class TestBatchedSemantics:
+    def test_same_time_events_fire_in_seq_order(self):
+        eng = make_engine("batched")
+        fired = []
+        for i in range(5):
+            eng.schedule(10, lambda i=i: fired.append(i))
+        eng.schedule(5, lambda: fired.append("early"))
+        eng.run()
+        assert fired == ["early", 0, 1, 2, 3, 4]
+
+    def test_callback_scheduling_at_now_extends_the_batch(self):
+        eng = make_engine("batched")
+        fired = []
+
+        def first():
+            fired.append("first")
+            eng.schedule(0, lambda: fired.append("appended"))
+
+        eng.schedule(3, first)
+        eng.schedule(3, lambda: fired.append("second"))
+        eng.run()
+        # the zero-delay event lands behind everything already queued
+        # for t=3, exactly as the heap's (time, seq) order dictates
+        assert fired == ["first", "second", "appended"]
+
+    def test_schedule_in_past_raises(self):
+        eng = make_engine("batched")
+        with pytest.raises(SimulationError):
+            eng.schedule(-1, lambda: None)
+        eng.schedule(5, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.schedule_at(4, lambda: None)
+
+    def test_cancel_is_lazy_and_pending_is_exact(self):
+        eng = make_engine("batched")
+        fired = []
+        events = [eng.schedule(7, lambda i=i: fired.append(i)) for i in range(4)]
+        assert eng.pending == 4
+        events[1].cancel()
+        events[2].cancel()
+        events[2].cancel()  # idempotent
+        assert eng.pending == 2
+        eng.run()
+        assert fired == [0, 3]
+        assert eng.pending == 0
+        assert eng.dispatched == 2
+
+    def test_compaction_preserves_order_and_counts(self):
+        eng = make_engine("batched")
+        fired = []
+        keep = []
+        cancelled = []
+        # enough churn to cross the compaction threshold several times
+        for i in range(300):
+            ev = eng.schedule(10 + (i % 10), lambda i=i: fired.append(i))
+            (keep if i % 3 == 0 else cancelled).append(ev)
+        for ev in cancelled:
+            ev.cancel()
+        assert eng.pending == len(keep)
+        eng.run()
+        survivors = [i for i in range(300) if i % 3 == 0]
+        # within each timestamp the survivors keep insertion order, and
+        # timestamps drain smallest first
+        expected = sorted(survivors, key=lambda i: (10 + (i % 10), i))
+        assert fired == expected
+
+    def test_peek_time_skips_cancelled(self):
+        eng = make_engine("batched")
+        early = eng.schedule(2, lambda: None)
+        eng.schedule(9, lambda: None)
+        assert eng.peek_time() == 2
+        early.cancel()
+        assert eng.peek_time() == 9
+
+    def test_run_until_advances_clock_between_buckets(self):
+        eng = make_engine("batched")
+        fired = []
+        eng.schedule(5, lambda: fired.append(5))
+        eng.schedule(20, lambda: fired.append(20))
+        eng.run(until=12)
+        assert fired == [5]
+        assert eng.now == 12
+        eng.run()
+        assert fired == [5, 20]
+
+    def test_stop_mid_batch_leaves_rest_of_bucket(self):
+        eng = make_engine("batched")
+        fired = []
+        eng.schedule(4, lambda: fired.append("a"))
+        eng.schedule(4, eng.stop)
+        eng.schedule(4, lambda: fired.append("b"))
+        eng.run()
+        assert fired == ["a"]
+        eng.run()
+        assert fired == ["a", "b"]
+
+    def test_step_dispatches_exactly_one(self):
+        eng = make_engine("batched")
+        fired = []
+        eng.schedule(1, lambda: fired.append("x"))
+        eng.schedule(1, lambda: fired.append("y"))
+        assert eng.step() is True
+        assert fired == ["x"]
+        assert eng.step() is True
+        assert eng.step() is False
+        assert fired == ["x", "y"]
+
+    def test_max_events_limit(self):
+        eng = make_engine("batched", max_events=10)
+
+        def forever():
+            eng.schedule(1, forever)
+
+        eng.schedule(0, forever)
+        with pytest.raises(SimulationError, match="event limit exceeded"):
+            eng.run()
+
+    def test_gc_restored_after_run_and_after_raise(self):
+        assert gc.isenabled()
+        eng = make_engine("batched")
+        eng.schedule(1, lambda: None)
+        eng.run()
+        assert gc.isenabled()
+        eng2 = make_engine("batched", max_events=1)
+        eng2.schedule(0, lambda: eng2.schedule(1, lambda: None))
+        eng2.schedule(2, lambda: None)
+        with pytest.raises(SimulationError):
+            eng2.run()
+        assert gc.isenabled()
+
+    def test_observers_see_every_live_event(self):
+        eng = make_engine("batched")
+        seen = []
+        eng.observers.append(lambda ev: seen.append(ev.label))
+        eng.schedule(1, lambda: None, label="a")
+        dead = eng.schedule(1, lambda: None, label="dead")
+        eng.schedule(2, lambda: None, label="b")
+        dead.cancel()
+        eng.run()
+        assert seen == ["a", "b"]
+
+
+def _churn(eng, seed, n=400):
+    """Drive one backend through seeded schedule/cancel/stop churn.
+
+    Pure function of ``seed``: both backends see byte-identical call
+    sequences, so every observable (dispatch order, clock, counters)
+    must agree.
+    """
+    rng = random.Random(seed)
+    fired = []
+    live = []
+
+    def cb(tag):
+        fired.append((eng.now, tag))
+        for _ in range(rng.randrange(3)):
+            tag2 = len(fired) * 1000 + rng.randrange(100)
+            live.append(eng.schedule(rng.randrange(6), cb.__wrapped__(tag2)))
+        if live and rng.random() < 0.3:
+            live.pop(rng.randrange(len(live))).cancel()
+
+    # small indirection so inner callbacks capture their tag eagerly
+    cb.__wrapped__ = lambda tag: (lambda: cb(tag))
+
+    for i in range(n):
+        live.append(eng.schedule(rng.randrange(50), cb.__wrapped__(i)))
+    eng.run(until=30)
+    eng.step()
+    eng.run()
+    return fired
+
+
+class TestDifferentialParity:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_heap_and_batched_agree_under_churn(self, seed):
+        heap_eng = make_engine("heap")
+        batched_eng = make_engine("batched")
+        a = _churn(heap_eng, seed)
+        b = _churn(batched_eng, seed)
+        assert a == b
+        assert heap_eng.fingerprint() == batched_eng.fingerprint()
+        assert heap_eng.pending == batched_eng.pending
+
+    def test_until_purge_keeps_pending_in_agreement(self):
+        # cancelled events *past* until are purged while they lead the
+        # queue; both backends must report the same pending afterwards
+        engines = [make_engine(n) for n in backend_names()]
+        for eng in engines:
+            eng.schedule(5, lambda: None)
+            doomed = [eng.schedule(40, lambda: None) for _ in range(3)]
+            eng.schedule(50, lambda: None)
+            for ev in doomed:
+                ev.cancel()
+            eng.run(until=10)
+        assert engines[0].pending == engines[1].pending
+        assert engines[0].now == engines[1].now == 10

@@ -153,3 +153,92 @@ class TestBenchCli:
         rc = self.run_cli("--out", str(tmp_path), "--label", "new",
                           "--baseline", str(tmp_path / "BENCH_old.json"))
         assert rc == 0
+
+
+class TestBenchComparePair:
+    """``repro bench --compare A B``: the head-to-head two-payload form."""
+
+    def write(self, tmp_path, label, wall_s, events=100, engine="heap"):
+        results = [
+            bench.BenchResult(name="ep_dedicated", wall_s=wall_s,
+                              events=events, rounds=3),
+        ]
+        payload = bench.to_payload(results, label=label, quick=True,
+                                   engine=engine)
+        return str(bench.write_payload(payload, out_dir=tmp_path))
+
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(["bench", *argv])
+
+    def test_speedup_table_and_exit_zero(self, tmp_path, capsys):
+        a = self.write(tmp_path, "heapref", 2.5, engine="heap")
+        b = self.write(tmp_path, "batched", 1.0, engine="batched")
+        rc = self.run_cli("--compare", a, b)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speedup" in out
+        assert "2.5" in out  # 2.5s -> 1.0s is a 2.5x speedup
+        assert "heapref" in out and "batched" in out
+
+    def test_regression_beyond_threshold_fails(self, tmp_path, capsys):
+        a = self.write(tmp_path, "ref", 1.0)
+        b = self.write(tmp_path, "cand", 1.5)
+        assert self.run_cli("--compare", a, b) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        # a looser threshold lets the same pair pass
+        assert self.run_cli("--compare", a, b, "--threshold", "60") == 0
+
+    def test_events_mismatch_is_exit_2(self, tmp_path, capsys):
+        a = self.write(tmp_path, "ref", 1.0, events=100)
+        b = self.write(tmp_path, "cand", 1.0, events=101)
+        assert self.run_cli("--compare", a, b) == 2
+        assert "determinism regression" in capsys.readouterr().err
+        # --wall-only skips the tripwire (and the walls match)
+        assert self.run_cli("--compare", a, b, "--wall-only") == 0
+
+    def test_events_only_stops_before_wall_check(self, tmp_path, capsys):
+        a = self.write(tmp_path, "ref", 1.0)
+        b = self.write(tmp_path, "cand", 99.0)  # would regress on wall
+        assert self.run_cli("--compare", a, b, "--events-only") == 0
+
+    def test_pair_refuses_baseline(self, tmp_path, capsys):
+        a = self.write(tmp_path, "ref", 1.0)
+        b = self.write(tmp_path, "cand", 1.0)
+        assert self.run_cli("--compare", a, b, "--baseline", a) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_three_payloads_rejected(self, tmp_path, capsys):
+        a = self.write(tmp_path, "ref", 1.0)
+        assert self.run_cli("--compare", a, a, a) == 2
+
+    def test_single_payload_still_requires_baseline(self, tmp_path, capsys):
+        a = self.write(tmp_path, "ref", 1.0)
+        assert self.run_cli("--compare", a) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_events_and_wall_only_mutually_exclusive(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bench", "--events-only", "--wall-only"])
+        assert "not allowed with" in capsys.readouterr().err
+
+
+class TestBenchEngineFlag:
+    def test_payload_records_engine(self, tmp_path):
+        from repro.cli import main
+
+        rc = main(["bench", "--rounds", "1", "--quick", "--engine", "batched",
+                   "--out", str(tmp_path), "--label", "b"])
+        assert rc == 0
+        payload = bench.load_payload(tmp_path / "BENCH_b.json")
+        assert payload["engine"] == "batched"
+
+    def test_unknown_engine_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--engine", "btree"])

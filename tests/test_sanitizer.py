@@ -292,6 +292,19 @@ def test_workers_leg_serial_vs_parallel():
     assert differential_check("balance-interval", legs=("workers",)) == []
 
 
+def test_engines_leg_heap_vs_batched():
+    # the calendar-queue backend must reproduce the heap's run digest
+    # bit for bit (events, trace and engine fingerprint)
+    assert differential_check("balance-interval", legs=("engines",)) == []
+
+
+def test_scenario_digest_engine_parity_and_perturbation():
+    heap = scenario_digest("balance-interval", engine="heap")
+    assert heap == scenario_digest("balance-interval", engine="batched")
+    # the digest still discriminates real behaviour changes
+    assert heap != scenario_digest("balance-interval", seed=1, engine="batched")
+
+
 def test_unknown_leg_rejected():
     with pytest.raises(ValueError, match="unknown differential legs"):
         differential_check("balance-interval", legs=("observers", "nope"))
