@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro.analysis lint [paths...]     # per-file determinism linter
     python -m repro.analysis flow [paths...]     # whole-program flow analyzer
+    python -m repro.analysis kernel [paths...]   # compiled-kernel readiness
     python -m repro.analysis rules               # print the rule catalogues
 
 The runtime invariant checker is reached through the main CLI
@@ -18,6 +19,8 @@ from typing import Optional, Sequence
 from repro.analysis.flow import FLOW_RULES
 from repro.analysis.flow.cli import main as flow_main
 from repro.analysis.invariants import INVARIANTS
+from repro.analysis.kernel import KERN_RULES
+from repro.analysis.kernel.cli import main as kernel_main
 from repro.analysis.lint import RULES, main as lint_main
 from repro.analysis.sanitizer import SAN_RULES
 
@@ -32,6 +35,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return lint_main(rest)
     if command == "flow":
         return flow_main(rest)
+    if command == "kernel":
+        return kernel_main(rest)
     if command == "rules":
         print("Static determinism lint rules (repro.analysis.lint):")
         for rule in RULES.values():
@@ -39,6 +44,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("Whole-program flow rules (repro.analysis.flow, `flow`):")
         for fid, flow_rule in FLOW_RULES.items():
             print(f"  {fid}  {flow_rule.summary}")
+        print("Compiled-kernel readiness rules (repro.analysis.kernel, `kernel`):")
+        for kid, kern_rule in KERN_RULES.items():
+            print(f"  {kid}  {kern_rule.summary}")
         print("Runtime invariants (repro.analysis.invariants):")
         for rid, summary in INVARIANTS.items():
             print(f"  {rid}  {summary}")
@@ -48,7 +56,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     print(
         f"repro.analysis: unknown command {command!r} "
-        "(expected 'lint', 'flow' or 'rules')",
+        "(expected 'lint', 'flow', 'kernel' or 'rules')",
         file=sys.stderr,
     )
     return 2

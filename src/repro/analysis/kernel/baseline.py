@@ -1,0 +1,53 @@
+"""Strict-ratchet baseline for the kernel analyzer.
+
+Same semantics as the FLOW baseline (one fingerprint per line, new
+findings AND stale entries both fail, ``--write-baseline`` regenerates)
+-- the fingerprinting, parsing and ratchet application are imported
+from :mod:`repro.analysis.flow.baseline`, which only reads the
+``rule``/``path``/``function`` fields both finding types share.  Only
+the file header differs, so a regenerated kernel baseline names the
+right tool.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.flow.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+)
+from repro.analysis.kernel.rules import KernelFinding
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "apply_baseline",
+    "format_baseline",
+    "write_baseline",
+]
+
+_HEADER = """\
+# Findings baseline for the kernel readiness analyzer (strict ratchet).
+#
+# One fingerprint per line: RULE repro-relative-path:function-qual [xN]
+# New findings not listed here FAIL the run; listed entries with no
+# matching finding ALSO fail (delete fixed debt).  Regenerate with:
+#   python -m repro.analysis kernel --write-baseline
+"""
+
+
+def format_baseline(findings: Iterable[KernelFinding]) -> str:
+    counts = Counter(fingerprint(f) for f in findings)
+    lines = [_HEADER]
+    for fp in sorted(counts):
+        n = counts[fp]
+        lines.append(fp if n == 1 else f"{fp} x{n}")
+    return "\n".join(lines) + "\n"
+
+
+def write_baseline(findings: Sequence[KernelFinding], path: Path) -> None:
+    path.write_text(format_baseline(findings))

@@ -1,0 +1,148 @@
+"""Command line entry point: ``python -m repro.analysis kernel``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis import reporting, suppress
+from repro.analysis.kernel import (
+    DEFAULT_ALLOWLIST,
+    DEFAULT_BASELINE,
+    KERN_RULES,
+    analyze_paths,
+)
+from repro.analysis.kernel.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis kernel",
+        description=(
+            "Compiled-kernel readiness analyzer: proves the hot core "
+            "(repro.sim/sched/balance/mem) is a type-stable, compilable "
+            "subset (KERN rules)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to analyze "
+        "(default: src/repro, or the installed repro package)",
+    )
+    reporting.add_format_argument(parser)
+    parser.add_argument(
+        "--allowlist",
+        type=Path,
+        default=DEFAULT_ALLOWLIST,
+        help="RULE path-glob allowlist file (default: the shipped one)",
+    )
+    parser.add_argument(
+        "--no-allowlist",
+        action="store_true",
+        help="ignore the allowlist entirely",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="findings baseline file (default: the shipped one)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="restrict to these KERN rule ids (repeatable)",
+    )
+    return parser
+
+
+def _default_paths() -> list[str]:
+    if Path("src/repro").is_dir():
+        return ["src/repro"]
+    import repro
+
+    return [str(Path(repro.__file__).resolve().parent)]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    paths = args.paths or _default_paths()
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"kernel: error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    if args.select:
+        unknown = sorted(set(args.select) - set(KERN_RULES))
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    allowlist: list[tuple[str, str]] = []
+    if not args.no_allowlist and args.allowlist.exists():
+        allowlist = suppress.load_allowlist(args.allowlist, frozenset(KERN_RULES))
+
+    report = analyze_paths(paths, allowlist)
+    findings = report.findings
+    if args.select:
+        selected = set(args.select)
+        findings = [f for f in findings if f.rule in selected]
+
+    for path, line, col, message in report.errors:
+        print(f"{path}:{line}:{col}: {message}", file=sys.stderr)
+
+    if args.write_baseline:
+        write_baseline(findings, args.baseline)
+        print(
+            f"kernel: wrote {len(findings)} finding(s) to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    stale: list[str] = []
+    if not args.no_baseline and args.baseline.exists():
+        allowed = load_baseline(args.baseline, frozenset(KERN_RULES))
+        findings, stale = apply_baseline(findings, allowed)
+
+    reporting.emit_findings(findings, args.format)
+    for fp in stale:
+        print(
+            f"stale baseline entry (finding fixed -- delete it): {fp}",
+            file=sys.stderr,
+        )
+
+    failed = bool(findings) or bool(stale) or bool(report.errors)
+    if args.format == "text":
+        summary = (
+            f"kernel: {len(findings)} new finding(s), {len(stale)} stale "
+            f"baseline entr{'y' if len(stale) == 1 else 'ies'} across "
+            f"{report.kernel_modules} kernel module(s) "
+            f"({report.modules} loaded), {report.reachable} "
+            "dispatch-reachable function(s)"
+        )
+        print(summary, file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

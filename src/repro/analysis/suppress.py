@@ -1,27 +1,30 @@
 """Shared suppression-comment and allowlist conventions.
 
-Both static analyzers -- the per-file determinism linter
-(:mod:`repro.analysis.lint`, SIM rules) and the whole-program flow
-analyzer (:mod:`repro.analysis.flow`, FLOW rules) -- honour the same
-two escape hatches, implemented once here so a suppression written for
-one tool reads identically to the other:
+All three static analyzers -- the per-file determinism linter
+(:mod:`repro.analysis.lint`, SIM rules), the whole-program flow
+analyzer (:mod:`repro.analysis.flow`, FLOW rules) and the
+compiled-kernel readiness analyzer (:mod:`repro.analysis.kernel`,
+KERN rules) -- honour the same two escape hatches, implemented once
+here so a suppression written for one tool reads identically to the
+others:
 
 * **line suppressions** -- a trailing comment on the offending line::
 
       for cid in candidate_set:  # sim-lint: ignore[SIM001]
       t = helper(now)            # sim-lint: ignore[FLOW001, SIM004]
+      cb = lambda: oce(gen)      # sim-lint: ignore[KERN005]
 
   The bracket list takes any number of comma-separated rule ids, and
-  may freely mix SIM and FLOW ids (each tool only acts on the ids it
-  owns and ignores the rest).  A bare ``# sim-lint: ignore`` suppresses
-  every rule on the line; ``# sim-lint: skip-file`` anywhere in a file
-  skips the whole file.
+  may freely mix SIM, FLOW and KERN ids (each tool only acts on the
+  ids it owns and ignores the rest).  A bare ``# sim-lint: ignore``
+  suppresses every rule on the line; ``# sim-lint: skip-file``
+  anywhere in a file skips the whole file.
 
 * **allowlists** -- a plain-text file of ``RULE  path-glob`` pairs
   (fnmatch against the POSIX form of the file path) that silences one
   rule for whole files.  Each tool ships its own default file next to
-  its module (``lint_allowlist.txt`` / ``flow_allowlist.txt``) but the
-  format and matching are identical.
+  its module (``lint_allowlist.txt`` / ``flow_allowlist.txt`` /
+  ``kernel_allowlist.txt``) but the format and matching are identical.
 """
 
 from __future__ import annotations

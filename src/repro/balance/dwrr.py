@@ -34,7 +34,7 @@ not boot the CFS port).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.balance.base import KernelBalancer
 from repro.sched.task import Task, TaskState
@@ -44,6 +44,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.system import System
 
 __all__ = ["DwrrBalancer"]
+
+
+# hoisted sort key: no closure allocated per round balance (KERN005)
+def _by_tid(task: Task) -> int:
+    return task.tid
 
 
 class DwrrBalancer(KernelBalancer):
@@ -72,6 +77,8 @@ class DwrrBalancer(KernelBalancer):
         self.stats_round_advances = 0
         self.stats_round_waits = 0
         self.stats_steals = 0
+        #: cid -> (callback, label) reused across tick reschedules
+        self._tick_cb: dict[int, tuple[Callable[[], None], str]] = {}
 
     # ------------------------------------------------------------------
     def attach(self, system: "System") -> None:
@@ -79,21 +86,21 @@ class DwrrBalancer(KernelBalancer):
         for core in system.cores:
             self.round[core.cid] = 0
             core.idle_callbacks.append(self._round_balance)
+            # reusable callback/label pair: the tick re-arms itself every
+            # 10 ms per core, so per-tick lambda allocations add up
+            label = f"dwrr.tick.{core.cid}"
+            callback = (lambda c=core: self._idle_tick(c))
+            self._tick_cb[core.cid] = (callback, label)
             offset = system.rng.jitter_us("dwrr.tick", self.idle_tick_us)
-            system.engine.schedule(
-                self.idle_tick_us + offset,
-                lambda c=core: self._idle_tick(c),
-                f"dwrr.tick.{core.cid}",
-            )
+            system.engine.schedule(self.idle_tick_us + offset, callback, label)
 
     def _idle_tick(self, core: "CoreSim") -> None:
         """Idle CPUs keep attempting round balancing."""
         assert self.system is not None
         if core.is_idle:
             self._round_balance(core)
-        self.system.engine.schedule(
-            self.idle_tick_us, lambda: self._idle_tick(core), f"dwrr.tick.{core.cid}"
-        )
+        callback, label = self._tick_cb[core.cid]
+        self.system.engine.schedule(self.idle_tick_us, callback, label)
 
     # ------------------------------------------------------------------
     def place_new_task(self, task: Task, snapshot: list[int]) -> int:
@@ -119,6 +126,11 @@ class DwrrBalancer(KernelBalancer):
             # resched); nothing else to do here
 
     # ------------------------------------------------------------------
+    def _donor_key(self, core: "CoreSim") -> tuple[int, int]:
+        # bound-method sort key: reads self.round, so it cannot be
+        # hoisted to module level like _by_tid
+        return (self.round[core.cid], -core.nr_running)
+
     def _round_balance(self, core: "CoreSim") -> None:
         """The local core ran out of unthrottled tasks.
 
@@ -137,10 +149,10 @@ class DwrrBalancer(KernelBalancer):
                 for c in self.system.cores
                 if c is not core and self.round[c.cid] <= my_round and c.nr_running >= 2
             ),
-            key=lambda c: (self.round[c.cid], -c.nr_running),
+            key=self._donor_key,
         )
         for donor in donors:
-            for t in sorted(donor.rq.tasks(), key=lambda t: t.tid):
+            for t in sorted(donor.rq.tasks(), key=_by_tid):
                 if stolen >= self.steal_batch:
                     break
                 if (

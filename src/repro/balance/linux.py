@@ -117,6 +117,8 @@ class LinuxLoadBalancer(KernelBalancer):
         self._noop: dict[tuple[int, int], tuple[int, int]] = {}
         self._memo_enabled = False
         self._load_epoch: list[int] = [0]
+        #: engine time snapshot read by _pull_sort_key during the sort
+        self._sort_now = 0
         self.stats_pulls = 0
         self.stats_attempts = 0
 
@@ -255,6 +257,12 @@ class LinuxLoadBalancer(KernelBalancer):
         else:
             self._failed[key] = self._failed.get(key, 0) + 1
 
+    def _pull_sort_key(self, task: Task) -> tuple[bool, int]:
+        # bound-method sort key: needs the engine-time snapshot in
+        # self._sort_now, so it cannot be a module-level function; using
+        # a method instead of a lambda keeps the pull path closure-free
+        return (task.cache_hot(self._sort_now, self.params.cache_hot_us), task.tid)
+
     def _pull_tasks(
         self,
         dst: "CoreSim",
@@ -277,7 +285,8 @@ class LinuxLoadBalancer(KernelBalancer):
             for t in src.rq.tasks()
             if t.state == TaskState.RUNNABLE and t.can_run_on(dst.cid)
         ]
-        candidates.sort(key=lambda t: (t.cache_hot(now, self.params.cache_hot_us), t.tid))
+        self._sort_now = now
+        candidates.sort(key=self._pull_sort_key)
         for task in candidates:
             if moved >= n:
                 break

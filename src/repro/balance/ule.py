@@ -20,7 +20,7 @@ cache-hot resistance (ULE's steal is unconditional on load threshold).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.balance.base import KernelBalancer
 from repro.sched.task import Task, TaskState
@@ -30,6 +30,21 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.system import System
 
 __all__ = ["UleBalancer"]
+
+
+# module-level sort/extremum keys: hoisted out of the balancing hot
+# path so no closure is allocated per push/steal (KERN005)
+def _by_nr_running(core: "CoreSim") -> int:
+    return core.nr_running
+
+
+def _by_tid(task: Task) -> int:
+    return task.tid
+
+
+def _hot_potato_key(task: Task) -> tuple[int, int]:
+    # most-recently migrated first: deterministic hot-potato
+    return (-task.last_migrated_at, -task.tid)
 
 
 class UleBalancer(KernelBalancer):
@@ -64,27 +79,29 @@ class UleBalancer(KernelBalancer):
         self.idle_tick_us = idle_tick_us
         self.stats_pushes = 0
         self.stats_steals = 0
+        #: cid -> (callback, label) reused across tick reschedules
+        self._tick_cb: dict[int, tuple[Callable[[], None], str]] = {}
 
     # ------------------------------------------------------------------
     def attach(self, system: "System") -> None:
         super().attach(system)
         for core in system.cores:
             core.idle_callbacks.append(self._idle_steal)
+            # reusable callback/label pair: the tick re-arms itself every
+            # 10 ms per core, so per-tick lambda allocations add up
+            label = f"ule.tick.{core.cid}"
+            callback = (lambda c=core: self._idle_tick(c))
+            self._tick_cb[core.cid] = (callback, label)
             offset = system.rng.jitter_us("ule.tick", self.idle_tick_us)
-            system.engine.schedule(
-                self.idle_tick_us + offset,
-                lambda c=core: self._idle_tick(c),
-                f"ule.tick.{core.cid}",
-            )
+            system.engine.schedule(self.idle_tick_us + offset, callback, label)
         system.engine.schedule(self.push_interval_us, self._push, "ule.push")
 
     def _idle_tick(self, core: "CoreSim") -> None:
         assert self.system is not None
         if core.is_idle:
             self._idle_steal(core)
-        self.system.engine.schedule(
-            self.idle_tick_us, lambda: self._idle_tick(core), f"ule.tick.{core.cid}"
-        )
+        callback, label = self._tick_cb[core.cid]
+        self.system.engine.schedule(self.idle_tick_us, callback, label)
 
     # ------------------------------------------------------------------
     def place_new_task(self, task, snapshot: list[int]) -> int:
@@ -109,8 +126,8 @@ class UleBalancer(KernelBalancer):
         """Move one thread from the longest to the shortest queue."""
         assert self.system is not None
         cores = self.system.cores
-        busiest = max(cores, key=lambda c: c.nr_running)
-        lightest = min(cores, key=lambda c: c.nr_running)
+        busiest = max(cores, key=_by_nr_running)
+        lightest = min(cores, key=_by_nr_running)
         if busiest.nr_running - lightest.nr_running >= self.steal_thresh:
             victim = self._pick_victim(busiest, lightest.cid)
             if victim is not None and self.system.migrate(
@@ -132,8 +149,7 @@ class UleBalancer(KernelBalancer):
         ]
         if not candidates:
             return None
-        # most-recently migrated first: deterministic hot-potato
-        candidates.sort(key=lambda t: (-t.last_migrated_at, -t.tid))
+        candidates.sort(key=_hot_potato_key)
         return candidates[0]
 
     def _idle_steal(self, core: "CoreSim") -> None:
@@ -141,12 +157,12 @@ class UleBalancer(KernelBalancer):
         assert self.system is not None
         busiest = max(
             (c for c in self.system.cores if c is not core),
-            key=lambda c: c.nr_running,
+            key=_by_nr_running,
             default=None,
         )
         if busiest is None or busiest.nr_running < 2:
             return
-        for t in sorted(busiest.rq.tasks(), key=lambda t: t.tid):
+        for t in sorted(busiest.rq.tasks(), key=_by_tid):
             if t.state == TaskState.RUNNABLE and t.can_run_on(core.cid):
                 if self.system.migrate(t, core.cid, reason="ule.steal"):
                     self.stats_steals += 1

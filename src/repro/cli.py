@@ -124,28 +124,148 @@ def _cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_check(args: argparse.Namespace) -> int:
-    """Correctness tooling: static analysis + runtime invariants.
+def _invariant_runs(args: argparse.Namespace):
+    """Yield one result dict per invariant smoke run.
 
-    ``repro check`` runs all three layers (per-file lint, whole-program
-    flow analysis, invariant smoke); ``--lint`` / ``--flow`` /
-    ``--invariants`` restrict it.  The invariant pass runs a smoke matrix of
-    balancer modes on a UMA and a NUMA machine with an
+    The shared matrix behind ``repro check --invariants`` and the
+    invariants leg of ``repro check --all``: balancer modes on a UMA
+    and a NUMA machine with an
     :class:`~repro.analysis.invariants.InvariantChecker` installed at
-    full scan resolution, so every mechanism invariant (INV001..INV004)
-    and the speed balancer's policy invariants (INV005/INV006) are
-    exercised end to end.
+    full scan resolution.  Stops at the first violation.
     """
     from repro.analysis.invariants import (
         InvariantConfig,
         InvariantViolation,
         install_invariant_checker,
     )
+
+    total_us = int(args.seconds * 1_000_000)
+    wait = WaitPolicy(mode=WAITS[args.wait])
+    machines = [("uniform4", lambda: presets.uniform(4)), ("barcelona", presets.barcelona)]
+    checkers = []
+
+    def instrument(system) -> None:
+        checkers.append(
+            install_invariant_checker(system, InvariantConfig(scan_stride=1))
+        )
+
+    for mname, machine in machines:
+        for mode in ("speed", "load", "dwrr", "ule"):
+            for seed in range(args.repeats):
+                run = f"{mname}/{mode}/seed{seed}"
+                try:
+                    run_app(
+                        machine,
+                        lambda system: make_nas_app(
+                            system,
+                            args.bench,
+                            n_threads=6,
+                            wait_policy=wait,
+                            total_compute_us=total_us,
+                        ),
+                        balancer=mode,
+                        cores=4,
+                        seed=seed,
+                        instrument=instrument,
+                    )
+                except InvariantViolation as exc:
+                    yield {"run": run, "ok": False, "error": str(exc)}
+                    return
+                chk = checkers[-1]
+                yield {
+                    "run": run,
+                    "ok": True,
+                    "events": chk.stats["events"],
+                    "charges": chk.stats["charges"],
+                    "migrations": chk.stats["migrations"],
+                }
+
+
+def _check_all(args: argparse.Namespace) -> int:
+    """``repro check --all``: every layer, one merged JSON report.
+
+    Runs the determinism lint, the flow analyzer and the kernel
+    readiness analyzer (both with their shipped allowlist + ratchet
+    baseline, exactly like their CLIs) plus the invariant smoke matrix,
+    and prints a single JSON object keyed by layer.
+    """
+    import json
+
+    from repro.analysis import flow as flow_pkg
+    from repro.analysis import kernel as kernel_pkg
+    from repro.analysis import suppress
+    from repro.analysis.flow import FLOW_RULES
+    from repro.analysis.flow.baseline import apply_baseline, load_baseline
+    from repro.analysis.kernel import KERN_RULES
     from repro.analysis.lint import lint_paths
 
-    restricted = args.lint or args.invariants or args.flow
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    report: dict = {}
+
+    findings = lint_paths(paths)
+    report["lint"] = {
+        "status": "fail" if findings else "ok",
+        "findings": [f.as_dict() for f in findings],
+    }
+
+    for key, pkg, rules in (
+        ("flow", flow_pkg, FLOW_RULES),
+        ("kernel", kernel_pkg, KERN_RULES),
+    ):
+        allowlist = []
+        if pkg.DEFAULT_ALLOWLIST.exists():
+            allowlist = suppress.load_allowlist(pkg.DEFAULT_ALLOWLIST, frozenset(rules))
+        layer = pkg.analyze_paths(paths, allowlist)
+        layer_findings, stale = layer.findings, []
+        if pkg.DEFAULT_BASELINE.exists():
+            allowed = load_baseline(pkg.DEFAULT_BASELINE, frozenset(rules))
+            layer_findings, stale = apply_baseline(layer_findings, allowed)
+        failed = bool(layer_findings) or bool(stale) or bool(layer.errors)
+        report[key] = {
+            "status": "fail" if failed else "ok",
+            "findings": [f.as_dict() for f in layer_findings],
+            "stale_baseline": stale,
+            "errors": [list(e) for e in layer.errors],
+        }
+        if key == "kernel":
+            report[key]["reachable"] = layer.reachable
+
+    runs = list(_invariant_runs(args))
+    inv_ok = all(r["ok"] for r in runs)
+    report["invariants"] = {"status": "ok" if inv_ok else "fail", "runs": runs}
+
+    report["status"] = (
+        "ok"
+        if all(layer["status"] == "ok" for layer in report.values() if isinstance(layer, dict))
+        else "fail"
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["status"] == "ok" else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Correctness tooling: static analysis + runtime invariants.
+
+    ``repro check`` runs the per-file lint, the whole-program flow
+    analysis and the invariant smoke; ``--lint`` / ``--flow`` /
+    ``--kernel`` / ``--invariants`` restrict it to one layer and
+    ``--all`` runs every layer (adding the kernel readiness analyzer)
+    with one merged JSON report.  The invariant pass runs a smoke
+    matrix of balancer modes on a UMA and a NUMA machine with an
+    :class:`~repro.analysis.invariants.InvariantChecker` installed at
+    full scan resolution, so every mechanism invariant (INV001..INV004)
+    and the speed balancer's policy invariants (INV005/INV006) are
+    exercised end to end.
+    """
+    from repro.analysis.lint import lint_paths
+
+    if args.all:
+        return _check_all(args)
+
+    restricted = args.lint or args.invariants or args.flow or args.kernel
     do_lint = args.lint or not restricted
     do_flow = args.flow or not restricted
+    do_kernel = args.kernel
     do_invariants = args.invariants or not restricted
     status = 0
 
@@ -166,45 +286,24 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if flow_main(paths):
             status = 1
 
+    if do_kernel:
+        from repro.analysis.kernel.cli import main as kernel_main
+
+        paths = args.paths or [str(Path(__file__).resolve().parent)]
+        if kernel_main(paths):
+            status = 1
+
     if do_invariants:
-        total_us = int(args.seconds * 1_000_000)
-        wait = WaitPolicy(mode=WAITS[args.wait])
-        machines = [("uniform4", lambda: presets.uniform(4)), ("barcelona", presets.barcelona)]
-        checkers = []
-
-        def instrument(system) -> None:
-            checkers.append(
-                install_invariant_checker(system, InvariantConfig(scan_stride=1))
+        for result in _invariant_runs(args):
+            if not result["ok"]:
+                print(f"FAIL {result['run']}: {result['error']}")
+                return 1
+            print(
+                f"ok   {result['run']}: "
+                f"{result['events']} events, "
+                f"{result['charges']} charges, "
+                f"{result['migrations']} migrations checked"
             )
-
-        for mname, machine in machines:
-            for mode in ("speed", "load", "dwrr", "ule"):
-                for seed in range(args.repeats):
-                    try:
-                        run_app(
-                            machine,
-                            lambda system: make_nas_app(
-                                system,
-                                args.bench,
-                                n_threads=6,
-                                wait_policy=wait,
-                                total_compute_us=total_us,
-                            ),
-                            balancer=mode,
-                            cores=4,
-                            seed=seed,
-                            instrument=instrument,
-                        )
-                    except InvariantViolation as exc:
-                        print(f"FAIL {mname}/{mode}/seed{seed}: {exc}")
-                        return 1
-                    chk = checkers[-1]
-                    print(
-                        f"ok   {mname}/{mode}/seed{seed}: "
-                        f"{chk.stats['events']} events, "
-                        f"{chk.stats['charges']} charges, "
-                        f"{chk.stats['migrations']} migrations checked"
-                    )
         print("invariants: ok (INV001..INV006 held on the whole smoke matrix)")
     return status
 
@@ -725,6 +824,15 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--flow", action="store_true",
         help="run only the whole-program flow analyzer",
+    )
+    check.add_argument(
+        "--kernel", action="store_true",
+        help="run only the compiled-kernel readiness analyzer",
+    )
+    check.add_argument(
+        "--all", action="store_true",
+        help="run every layer (lint, flow, kernel, invariants) and "
+             "print one merged JSON report",
     )
     check.add_argument(
         "--paths", nargs="+", default=None,

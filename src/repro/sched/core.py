@@ -45,6 +45,7 @@ from repro.sim.engine import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.system import System
+    from repro.topology.machine import Core
 
 __all__ = ["CoreSim", "CoreStats"]
 
@@ -68,7 +69,7 @@ class CoreStats:
 class CoreSim:
     """A single simulated core with a CFS run queue."""
 
-    def __init__(self, system: "System", hw) -> None:
+    def __init__(self, system: "System", hw: "Core") -> None:
         self.system = system
         self.engine = system.engine
         self.hw = hw

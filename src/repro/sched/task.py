@@ -180,7 +180,7 @@ class Task:
         footprint_bytes: int = 0,
         app_id: Optional[str] = None,
         mem_intensity: float = 0.0,
-    ):
+    ) -> None:
         # process-global tids are a debugging convenience only: schedule
         # comparisons go through the sanitizer, which renumbers tids in
         # creation order, so worker processes disagreeing on raw values

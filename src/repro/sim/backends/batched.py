@@ -55,7 +55,7 @@ class BatchedEngine(Engine):
     #: arms the batch-aware memoization fast paths in the layers above
     batching = True
 
-    def __init__(self, max_events: int = 200_000_000):
+    def __init__(self, max_events: int = 200_000_000) -> None:
         super().__init__(max_events=max_events)
         #: time -> FIFO of events at that time (appended in seq order)
         self._buckets: dict[int, deque[Event]] = {}

@@ -75,7 +75,7 @@ class Event:
         callback: Callable[[], Any],
         label: str,
         engine: Optional["Engine"] = None,
-    ):
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -133,7 +133,7 @@ class Engine:
     #: that produced every historical baseline.
     batching: bool = False
 
-    def __init__(self, max_events: int = 200_000_000):
+    def __init__(self, max_events: int = 200_000_000) -> None:
         self.now: int = 0
         #: (time, seq, event) triples: seq is unique, so heap comparisons
         #: resolve on the int prefix at C speed without touching Event

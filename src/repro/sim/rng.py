@@ -37,7 +37,7 @@ class SimRng:
     False
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: dict[str, random.Random] = {}
 
