@@ -84,6 +84,7 @@ WORKER_MODULES = frozenset(
         "repro.harness.experiment",
         "repro.harness.sweeps",
         "repro.service.jobs",
+        "repro.serve.workers",
     }
 )
 

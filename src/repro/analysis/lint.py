@@ -102,7 +102,7 @@ _POPULATION_NAMES = frozenset({"rq", "tasks", "cores", "runnable_tasks"})
 #: directories whose modules enumerate the filesystem (SIM006 scope):
 #: the harness discovers scenarios/results on disk, the analysis layer
 #: walks sources and traces -- both must see files in a fixed order.
-FS_ORDER_DIRS = frozenset({"harness", "analysis", "store", "service"})
+FS_ORDER_DIRS = frozenset({"harness", "analysis", "store", "service", "serve"})
 
 #: filesystem-enumeration callables with platform-dependent order
 #: (SIM006); matched as ``os.listdir``-style attributes, ``.iterdir()``

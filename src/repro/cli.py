@@ -635,7 +635,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     service = JobService(store, on_status=None if args.json else on_status)
     try:
-        results = service.submit(specs, workers=args.workers, trace=args.trace)
+        results = service.submit(
+            specs, workers=args.workers, trace=args.trace,
+            timeout_s=args.job_timeout,
+        )
     except JobFailedError as exc:
         print(f"repro submit: {exc}", file=sys.stderr)
         return 1
@@ -680,10 +683,44 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
-    """List store entries (all of them, or the given digest prefixes)."""
+    """List store entries (all of them, or the given digest prefixes).
+
+    ``--watch`` turns the listing into a poll: re-read the store every
+    ``--interval`` seconds until every requested digest prefix has an
+    entry (exit 0) or ``--timeout`` elapses first (exit 1).  Watching
+    without digests waits for the store to become non-empty.
+    """
+    import time as _time
+
+    from repro.serve import clock as _clock
     from repro.store import ResultStore
 
     store = ResultStore(args.store)
+    if args.watch:
+        deadline = (
+            _clock.monotonic() + args.timeout
+            if args.timeout is not None
+            else None
+        )
+        while True:
+            digests = store.digests()
+            missing = (
+                [p for p in args.digest if not any(d.startswith(p) for d in digests)]
+                if args.digest
+                else ([] if digests else ["<any entry>"])
+            )
+            if not missing:
+                break
+            if deadline is not None and _clock.monotonic() > deadline:
+                print(
+                    f"repro status: still waiting on {len(missing)} "
+                    f"digest(s) after {args.timeout:g}s: "
+                    + ", ".join(m[:12] for m in missing),
+                    file=sys.stderr,
+                )
+                return 1
+            _time.sleep(args.interval)
+
     entries = store.entries()
     if args.digest:
         wanted = {_resolve_digest(store, d) for d in args.digest}
@@ -764,6 +801,149 @@ def _cmd_store(args: argparse.Namespace) -> int:
         f"freed {rep.bytes_freed} bytes"
     )
     return 0
+
+
+# ----------------------------------------------------------------------
+# serving daemon + client (repro.serve)
+# ----------------------------------------------------------------------
+def _parse_tenant(text: str):
+    """``name[:weight[:rate[:burst[:queue_limit]]]]`` -> TenantConfig."""
+    from repro.serve import TenantConfig
+
+    parts = text.split(":")
+    if not parts[0]:
+        raise ValueError(f"tenant spec {text!r} has an empty name")
+    if len(parts) > 5:
+        raise ValueError(
+            f"tenant spec {text!r} has too many fields; expected "
+            "name[:weight[:rate[:burst[:queue_limit]]]]"
+        )
+    try:
+        return TenantConfig(
+            name=parts[0],
+            weight=float(parts[1]) if len(parts) > 1 else 1.0,
+            rate=float(parts[2]) if len(parts) > 2 else 50.0,
+            burst=float(parts[3]) if len(parts) > 3 else 100.0,
+            queue_limit=int(parts[4]) if len(parts) > 4 else 512,
+        )
+    except ValueError as exc:
+        raise ValueError(f"tenant spec {text!r}: {exc}") from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the serving daemon until SIGTERM/SIGINT drains it."""
+    import asyncio
+
+    from repro.serve import ServeConfig
+    from repro.serve.server import run_server
+
+    config = ServeConfig(
+        store_root=args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        tenants=tuple(_parse_tenant(t) for t in args.tenant),
+        window_s=args.window,
+        job_timeout_s=args.job_timeout,
+        max_attempts=args.max_attempts,
+    )
+    asyncio.run(run_server(config))
+    return 0
+
+
+def _client_resolve(client, prefix: str) -> str:
+    """A full job digest from a prefix, via the daemon's job listing."""
+    if not prefix or any(c not in "0123456789abcdef" for c in prefix):
+        raise ValueError(f"invalid digest prefix {prefix!r} (lowercase hex)")
+    if len(prefix) == 64:
+        return prefix
+    matches = [
+        j["digest"] for j in client.jobs() if j["digest"].startswith(prefix)
+    ]
+    if not matches:
+        raise ValueError(f"no job matches digest prefix {prefix!r}")
+    if len(matches) > 1:
+        raise ValueError(
+            f"digest prefix {prefix!r} is ambiguous ({len(matches)} jobs)"
+        )
+    return matches[0]
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Talk to a running daemon: submit / status / fetch / metrics / watch."""
+    import json as _json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        if args.client_command == "submit":
+            specs = _submit_specs(args)
+            resp = client.submit(specs, tenant=args.tenant)
+            jobs = resp["jobs"]
+            if args.watch:
+                jobs = [
+                    client.wait(j["digest"], timeout_s=args.timeout)
+                    for j in jobs
+                ]
+            if args.json:
+                print(_json.dumps(jobs, indent=2, sort_keys=True))
+            else:
+                rows = [
+                    [j["digest"][:12], j["state"], j["attempts"],
+                     j.get("error") or "-"]
+                    for j in jobs
+                ]
+                print(report.table(
+                    ["digest", "state", "attempts", "error"], rows,
+                    title=f"{len(jobs)} job(s) as tenant "
+                          f"{resp['tenant']!r} via {args.url}",
+                ))
+            failed = [j for j in jobs if j["state"] == "failed"]
+            return 1 if args.watch and failed else 0
+
+        if args.client_command == "status":
+            digest = _client_resolve(client, args.digest)
+            view = (
+                client.wait(digest, poll_s=args.interval, timeout_s=args.timeout)
+                if args.watch
+                else client.status(digest)
+            )
+            print(_json.dumps(view, indent=2, sort_keys=True))
+            if args.watch:
+                return 0 if view["state"] in ("done", "cached") else 1
+            return 0
+
+        if args.client_command == "fetch":
+            digest = _client_resolve(client, args.digest)
+            print(_json.dumps(client.result(digest), indent=2, sort_keys=True))
+            return 0
+
+        if args.client_command == "metrics":
+            print(_json.dumps(client.metrics(), indent=2, sort_keys=True))
+            return 0
+
+        # watch: stream the SSE feed of one job
+        digest = _client_resolve(client, args.digest)
+        final = ""
+        for event, data in client.events(digest):
+            print(_json.dumps({"event": event, **data}, sort_keys=True))
+            if event == "end":
+                final = data.get("state", "")
+        return 0 if final in ("done", "cached") else 1
+    except ServeError as exc:
+        print(f"repro client: {exc}", file=sys.stderr)
+        retry = exc.retry_after_s
+        if retry is not None:
+            print(f"repro client: retry after {retry:.3f}s", file=sys.stderr)
+        return 1
+    except TimeoutError as exc:
+        print(f"repro client: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"repro client: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
 
 
 def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
@@ -966,6 +1146,12 @@ def build_parser() -> argparse.ArgumentParser:
              "repro sanitize --stored)",
     )
     submit.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job wall-clock budget in seconds; a job past it fails "
+             "with a timeout reason and re-enters the retry loop (not "
+             "combinable with --trace)",
+    )
+    submit.add_argument(
         "--expect-cached", action="store_true",
         help="assert the whole batch is already cached; exit 1 if any "
              "simulation had to run (the CI store-smoke invariant)",
@@ -983,6 +1169,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only these digests (prefixes allowed)")
     status.add_argument("--store", default=".repro-store",
                         help="store directory (default: .repro-store)")
+    status.add_argument(
+        "--watch", action="store_true",
+        help="poll the store until every given digest (or, with none, "
+             "any entry) exists; exit 1 if --timeout elapses first",
+    )
+    status.add_argument("--interval", type=float, default=0.5,
+                        help="--watch poll interval in seconds (default: 0.5)")
+    status.add_argument(
+        "--timeout", type=float, default=None,
+        help="--watch gives up (exit 1) after this many seconds "
+             "(default: wait forever)",
+    )
 
     fetch = sub.add_parser(
         "fetch", help="print the stored result behind one digest",
@@ -992,6 +1190,106 @@ def build_parser() -> argparse.ArgumentParser:
                        help="store directory (default: .repro-store)")
     fetch.add_argument("--json", action="store_true",
                        help="emit the result dict as JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service daemon (HTTP/JSON + SSE "
+             "over a sharded content-addressed store)",
+    )
+    serve.add_argument("--store", default=".repro-serve",
+                       help="sharded store root (default: .repro-serve)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8421,
+                       help="listen port; 0 picks a free one (default: 8421)")
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes; also the store shard count (default: 2)",
+    )
+    serve.add_argument(
+        "--backend", default="process", choices=("process", "thread"),
+        help="worker pool backend (default: process; thread is for tests "
+             "and has no job-timeout kill support)",
+    )
+    serve.add_argument(
+        "--tenant", action="append", default=[], metavar="SPEC",
+        help="declare a tenant as name[:weight[:rate[:burst[:queue_limit]]]] "
+             "(repeatable); undeclared tenants get the defaults",
+    )
+    serve.add_argument(
+        "--window", type=float, default=30.0,
+        help="service-speed measurement window in seconds (default: 30)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job wall-clock budget in seconds; a worker past it is "
+             "killed and respawned (default: none)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=2,
+        help="dispatch attempts per job before it is failed (default: 2)",
+    )
+
+    client_p = sub.add_parser(
+        "client",
+        help="talk to a running repro serve daemon: submit, status, "
+             "fetch, metrics, watch",
+    )
+    client_p.add_argument("--url", default="http://127.0.0.1:8421",
+                          help="daemon base URL (default: http://127.0.0.1:8421)")
+    client_sub = client_p.add_subparsers(dest="client_command", required=True)
+
+    c_submit = client_sub.add_parser(
+        "submit", help="submit a spec batch over HTTP (dedup + cache apply)",
+    )
+    c_submit.add_argument("--tenant", default="default")
+    c_submit.add_argument("--bench", default="ep.C", choices=sorted(FULL_CATALOG))
+    c_submit.add_argument("--machine", default="tigerton", choices=sorted(MACHINES))
+    c_submit.add_argument("--threads", type=int, default=16)
+    c_submit.add_argument("--cores", type=int, default=12)
+    c_submit.add_argument("--wait", default="yield", choices=sorted(WAITS))
+    c_submit.add_argument("--seconds", type=float, default=1.0,
+                          help="per-thread compute demand in simulated seconds")
+    c_submit.add_argument("--repeats", type=int, default=3)
+    c_submit.add_argument(
+        "--balancer", nargs="+", default=["speed", "load"],
+        choices=BALANCER_MODES,
+    )
+    c_submit.add_argument(
+        "--watch", action="store_true",
+        help="block until every submitted job is terminal (exit 1 if any "
+             "failed)",
+    )
+    c_submit.add_argument("--timeout", type=float, default=None,
+                          help="--watch deadline in seconds")
+    c_submit.add_argument("--json", action="store_true",
+                          help="emit the job views as JSON")
+    _add_engine_arg(c_submit)
+
+    c_status = client_sub.add_parser(
+        "status", help="one job's status view (digest prefix allowed)",
+    )
+    c_status.add_argument("digest")
+    c_status.add_argument(
+        "--watch", action="store_true",
+        help="poll until the job is terminal; exit 0 on done/cached, "
+             "1 on failed",
+    )
+    c_status.add_argument("--interval", type=float, default=0.2,
+                          help="--watch poll interval in seconds (default: 0.2)")
+    c_status.add_argument("--timeout", type=float, default=None,
+                          help="--watch deadline in seconds")
+
+    c_fetch = client_sub.add_parser(
+        "fetch", help="fetch the stored result behind one job digest",
+    )
+    c_fetch.add_argument("digest")
+
+    client_sub.add_parser("metrics", help="print the /v1/metrics snapshot")
+
+    c_watch = client_sub.add_parser(
+        "watch", help="stream one job's SSE status events until it ends",
+    )
+    c_watch.add_argument("digest")
 
     store_p = sub.add_parser(
         "store", help="store maintenance: gc, verify, stats",
@@ -1033,6 +1331,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "status": _cmd_status,
         "fetch": _cmd_fetch,
         "store": _cmd_store,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
     }[args.command]
     try:
         return handler(args)

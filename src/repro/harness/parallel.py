@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
@@ -52,12 +53,24 @@ from repro.topology.machine import Machine
 __all__ = [
     "MACHINE_PRESETS",
     "RunSpec",
+    "SpecTimeoutError",
     "map_specs",
     "register_machine",
     "resolve_machine",
     "run_spec",
     "starmap_kwargs",
 ]
+
+
+class SpecTimeoutError(RuntimeError):
+    """One spec exceeded its wall-clock budget (a timeout failure).
+
+    Produced by :func:`map_specs` when ``timeout_s`` is set; with
+    ``return_exceptions`` it appears in the result list like any other
+    per-job failure, so :class:`repro.service.JobService` retries a
+    timed-out job exactly as it retries a crash, and the final error
+    string a caller sees names the timeout explicitly.
+    """
 
 #: machine factories resolvable by name in a :class:`RunSpec`
 MACHINE_PRESETS: dict[str, Callable[[], Machine]] = {
@@ -170,6 +183,7 @@ def _fan_out(
     fn: Callable,
     workers: int,
     return_exceptions: bool = False,
+    timeout_s: Optional[float] = None,
 ) -> list:
     """Run ``fn(*args)`` for each args tuple; results in submission order.
 
@@ -177,18 +191,52 @@ def _fan_out(
     in place of a result instead of aborting the whole batch -- the
     hook :class:`repro.service.JobService` uses to retry individual
     worker crashes without losing the rest of a fan-out.
+
+    With ``timeout_s`` each job gets that many wall seconds, measured
+    from the moment the collector reaches its future (jobs running
+    concurrently ahead of their turn only gain time, never lose it).
+    A job past its deadline yields :class:`SpecTimeoutError`; the job
+    that was mid-run cannot be interrupted cooperatively, so on any
+    timeout the pool is shut down without waiting and its worker
+    processes are killed -- safe because workers only *return* results
+    (the parent does all store writes), so no shared state can be left
+    half-written.
     """
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    pool = ProcessPoolExecutor(max_workers=workers)
+    timed_out = False
+    try:
         futures = [pool.submit(fn, *args) for args in submit_args]
-        if not return_exceptions:
-            return [f.result() for f in futures]
         out: list = []
-        for f in futures:
+        for i, f in enumerate(futures):
             try:
-                out.append(f.result())
+                out.append(f.result(timeout=timeout_s))
+            except FuturesTimeoutError:
+                f.cancel()
+                timed_out = True
+                exc: Exception = SpecTimeoutError(
+                    f"job #{i} timeout: exceeded the {timeout_s:g}s "
+                    "wall-clock budget"
+                )
+                if not return_exceptions:
+                    raise exc from None
+                out.append(exc)
             except Exception as exc:  # noqa: BLE001 - reported per job
+                if not return_exceptions:
+                    raise
                 out.append(exc)
         return out
+    finally:
+        if timed_out:
+            # a timed-out job is still running in its worker; joining
+            # (or even interpreter exit) would block on it, so kill the
+            # workers outright -- they hold no shared state.  Snapshot
+            # the process table first: shutdown() clears it.
+            procs = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in procs:
+                proc.kill()
+        else:
+            pool.shutdown(wait=True)
 
 
 def _normalize_workers(workers: Optional[int]) -> int:
@@ -206,6 +254,7 @@ def map_specs(
     workers: Optional[int] = 1,
     progress: Optional[Callable[[RunSpec, AppRunResult], None]] = None,
     return_exceptions: bool = False,
+    timeout_s: Optional[float] = None,
 ) -> list[AppRunResult]:
     """Run every spec; return results in input order.
 
@@ -219,10 +268,19 @@ def map_specs(
     .BrokenProcessPool` for a crashed worker) instead of raising, so a
     caller can retry just the failed subset; ``progress`` is skipped
     for failed specs.
+
+    ``timeout_s`` bounds each spec's wall-clock time; a spec past it
+    contributes (or raises) :class:`SpecTimeoutError`.  Enforcing a
+    deadline requires the process-pool path -- in-process execution
+    cannot be interrupted -- so ``timeout_s`` forces the fan-out even
+    for ``workers=1`` / single-spec batches (results stay
+    byte-identical; the parity tests cover the pool path).
     """
     specs = list(specs)
     workers = _normalize_workers(workers)
-    if workers == 1 or len(specs) <= 1:
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError(f"timeout_s must be > 0 (got {timeout_s})")
+    if timeout_s is None and (workers == 1 or len(specs) <= 1):
         results = []
         for spec in specs:
             try:
@@ -240,7 +298,7 @@ def map_specs(
         _require_picklable(spec, f"RunSpec #{i} ({spec.balancer}, seed={spec.seed})")
     results = _fan_out(
         [(spec,) for spec in specs], run_spec, workers,
-        return_exceptions=return_exceptions,
+        return_exceptions=return_exceptions, timeout_s=timeout_s,
     )
     if progress is not None:
         for spec, result in zip(specs, results):

@@ -150,6 +150,7 @@ class JobService:
         specs: Iterable[RunSpec],
         workers: Optional[int] = 1,
         trace: bool = False,
+        timeout_s: Optional[float] = None,
     ) -> list[AppRunResult]:
         """Resolve every spec to its result, simulating only misses.
 
@@ -160,7 +161,22 @@ class JobService:
         cross the process boundary); a cached entry *without* a trace
         is treated as a miss and re-archived with one.  Raises
         :class:`JobFailedError` if any spec exhausts its attempts.
+
+        ``timeout_s`` bounds each job's wall-clock time per attempt: a
+        job past the budget fails with a
+        :class:`~repro.harness.parallel.SpecTimeoutError`, re-enters
+        the retry loop like any crash, and -- if every attempt times
+        out -- surfaces ``timeout`` in its permanent failure reason.
+        Deadlines need the interruptible process-pool path, so
+        ``timeout_s`` is incompatible with ``trace=True`` (traced runs
+        execute in-process).
         """
+        if timeout_s is not None and trace:
+            raise ValueError(
+                "timeout_s does not combine with trace=True: traced runs "
+                "execute in-process, where a wall-clock deadline cannot "
+                "interrupt the simulation"
+            )
         specs = list(specs)
         digests = [spec_digest(s) for s in specs]
 
@@ -184,7 +200,10 @@ class JobService:
 
         try:
             to_run = self._resolve_cached(owned, unique, trace=trace)
-            self._execute(to_run, unique, workers=workers, trace=trace)
+            self._execute(
+                to_run, unique, workers=workers, trace=trace,
+                timeout_s=timeout_s,
+            )
         except BaseException:
             # never leave waiters hanging on an event that won't fire
             with self._lock:
@@ -246,6 +265,7 @@ class JobService:
         unique: dict[str, RunSpec],
         workers: Optional[int],
         trace: bool,
+        timeout_s: Optional[float] = None,
     ) -> None:
         """Run the cache misses with bounded retries, store, finish."""
         pending = list(to_run)
@@ -275,6 +295,7 @@ class JobService:
                     [unique[d] for d in pending],
                     workers=workers,
                     return_exceptions=True,
+                    timeout_s=timeout_s,
                 )
                 for d, outcome in zip(pending, outcomes):
                     if isinstance(outcome, Exception):

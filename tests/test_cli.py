@@ -153,6 +153,100 @@ class TestStoreCommands:
         assert "no traced entries" in capsys.readouterr().err
 
 
+class TestWatchAndTimeout:
+    SUBMIT = TestStoreCommands.SUBMIT
+
+    def test_status_watch_returns_when_digest_present(self, tmp_path):
+        import json
+
+        store = str(tmp_path / "s")
+        _, out = run_cli([*self.SUBMIT, "--store", store, "--json"])
+        digest = json.loads(out)[0]["digest"]
+        rc, out = run_cli([
+            "status", digest[:10], "--store", store,
+            "--watch", "--interval", "0.01", "--timeout", "5",
+        ])
+        assert rc == 0
+        assert digest[:12] in out
+
+    def test_status_watch_times_out_on_missing_digest(self, tmp_path, capsys):
+        rc = main([
+            "status", "feed" * 16, "--store", str(tmp_path / "s"),
+            "--watch", "--interval", "0.01", "--timeout", "0.05",
+        ])
+        assert rc == 1
+        assert "still waiting" in capsys.readouterr().err
+
+    def test_job_timeout_rejects_trace(self, tmp_path, capsys):
+        rc = main([
+            *self.SUBMIT, "--store", str(tmp_path / "s"),
+            "--trace", "--job-timeout", "5",
+        ])
+        assert rc == 2
+        assert "does not combine with trace" in capsys.readouterr().err
+
+
+class TestClientCommands:
+    """The `repro client` verbs against a live background daemon."""
+
+    @pytest.fixture()
+    def daemon(self, tmp_path):
+        from repro.serve import BackgroundServer, ServeConfig
+
+        bg = BackgroundServer(ServeConfig(
+            store_root=str(tmp_path / "serve-store"), port=0,
+            workers=1, backend="thread",
+        )).start()
+        yield bg
+        bg.drain()
+
+    def _client(self, daemon, *argv):
+        return run_cli(["client", "--url", daemon.base_url, *argv])
+
+    SPEC = [
+        "submit", "--threads", "4", "--cores", "2", "--seconds", "0.05",
+        "--repeats", "1", "--balancer", "speed",
+    ]
+
+    def test_submit_watch_fetch_metrics_and_sse(self, daemon):
+        import json
+
+        rc, out = self._client(
+            daemon, *self.SPEC, "--watch", "--timeout", "120", "--json",
+        )
+        assert rc == 0
+        (job,) = json.loads(out)
+        assert job["state"] == "done"
+        digest = job["digest"]
+
+        rc, out = self._client(daemon, "status", digest[:10], "--watch")
+        assert rc == 0
+        assert json.loads(out)["state"] == "done"
+
+        rc, out = self._client(daemon, "fetch", digest)
+        assert rc == 0
+        assert json.loads(out)["result"]["app_name"] == "ep.C"
+
+        rc, out = self._client(daemon, "metrics")
+        assert rc == 0
+        snap = json.loads(out)
+        assert snap["completed"] >= 1
+
+        rc, out = self._client(daemon, "watch", digest)
+        assert rc == 0
+        events = [json.loads(line) for line in out.splitlines()]
+        states = [e["state"] for e in events if e["event"] == "status"]
+        assert states == ["pending", "running", "done"]
+        assert events[-1]["event"] == "end"
+
+    def test_unreachable_daemon_clean_error(self, capsys):
+        rc = main([
+            "client", "--url", "http://127.0.0.1:9", "metrics",
+        ])
+        assert rc == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
 class TestCliErrorHandling:
     def test_oversized_core_subset_clean_error(self, capsys):
         rc = main([

@@ -1,5 +1,6 @@
 """Tests for the deduplicating job service (repro.service)."""
 
+import multiprocessing
 import threading
 
 import pytest
@@ -183,7 +184,76 @@ class TestRetries:
         assert service._inflight == {}
 
 
+class TestTimeouts:
+    def _slow_spec(self):
+        # enough simulated compute that wall-clock time far exceeds the
+        # budget below, so the deadline always fires
+        app = AppSpec(bench="ep.C", n_threads=4, total_compute_us=30_000_000)
+        return RunSpec.make("tigerton", app, balancer="speed", cores=2)
+
+    def test_timed_out_job_fails_with_timeout_reason(self, tmp_path):
+        spec = self._slow_spec()
+        service = JobService(
+            ResultStore(tmp_path / "s"), max_attempts=2, sleep=lambda s: None,
+        )
+        with pytest.raises(JobFailedError, match="timeout"):
+            service.submit([spec], timeout_s=0.2)
+        st = service.status(spec_digest(spec))
+        assert st.state == "failed"
+        assert st.attempts == 2  # the timeout fed the normal retry path
+        assert "timeout" in st.error
+        assert not service.store.contains(spec)
+
+    def test_timeout_leaves_fast_jobs_untouched(self, tmp_path):
+        fast = _spec()
+        service = JobService(ResultStore(tmp_path / "s"))
+        (result,) = service.submit([fast], timeout_s=120.0)
+        assert run_digest(result) == run_digest(run_spec(fast))
+        assert service.status(spec_digest(fast)).state == "done"
+
+    def test_timeout_rejects_trace(self, tmp_path):
+        service = JobService(ResultStore(tmp_path / "s"))
+        with pytest.raises(ValueError, match="trace"):
+            service.submit([_spec()], trace=True, timeout_s=1.0)
+
+
+def _submit_in_child(root, queue):
+    """Child-process worker for the cross-process dedup race test."""
+    try:
+        (result,) = run_specs_cached([_spec(seed=77)], root)
+        queue.put(("ok", run_digest(result)))
+    except Exception as exc:  # pragma: no cover - surfaced in parent
+        queue.put(("error", repr(exc)))
+
+
 class TestConcurrency:
+    def test_cross_process_same_digest_single_entry(self, tmp_path):
+        """Two processes race the same spec: one store entry, same bytes."""
+        root = str(tmp_path / "s")
+        queue = multiprocessing.Queue()
+        procs = [
+            multiprocessing.Process(
+                target=_submit_in_child, args=(root, queue)
+            )
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        outcomes = [queue.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        assert [kind for kind, _ in outcomes] == ["ok", "ok"], outcomes
+        digests = {payload for _, payload in outcomes}
+        assert len(digests) == 1  # byte-identical results in both processes
+
+        store = ResultStore(root)
+        spec = _spec(seed=77)
+        assert store.contains(spec)
+        assert store.verify() == []  # the racing writes corrupted nothing
+        entry = store.get(spec_digest(spec))
+        assert run_digest(entry.result) == digests.pop()
+
     def test_concurrent_submit_single_execution(self, tmp_path):
         service = JobService(ResultStore(tmp_path / "s"))
         spec = _spec()
