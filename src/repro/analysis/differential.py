@@ -31,11 +31,12 @@ Perturbation legs
     smokes whose co-runner factories close over system state that does
     not pickle.
 ``engines``
-    The same scenario in-process under the ``heap`` and ``batched``
-    event-dispatch backends (:mod:`repro.sim.backends`).  The backends
-    are digest-equivalent by contract -- same events, same order, same
-    floats -- so any divergence means a batching fast path changed
-    simulated behaviour.  Full digest.
+    The same scenario in-process under the ``heap`` backend and every
+    other *available* event-dispatch backend (:mod:`repro.sim.backends`)
+    -- ``batched`` always, ``native`` when a C toolchain exists.  The
+    backends are digest-equivalent by contract -- same events, same
+    order, same floats -- so any divergence means a batching (or
+    compiled) fast path changed simulated behaviour.  Full digest.
 """
 
 from __future__ import annotations
@@ -68,7 +69,7 @@ def scenario_digest(
     ``observers=True`` installs the runtime invariant checker before the
     run (the perturbation the ``observers`` leg compares against);
     ``engine`` selects the event-dispatch backend (the ``engines`` leg
-    compares a ``heap`` digest against a ``batched`` one).
+    compares a ``heap`` digest against every other available backend's).
     """
     smoke = scenario_smokes()[name]
     instrument = None
@@ -180,7 +181,8 @@ def differential_check(
     in re-deriving the *app* path across processes, and keeping it
     uniform keeps digests comparable).  ``engine`` is the backend the
     hashseed/observers/workers perturbations run under; the ``engines``
-    leg always compares the heap-vs-batched pair regardless.
+    leg always compares heap against every other available backend
+    regardless (``batched``, plus ``native`` when a toolchain exists).
     """
     unknown = [leg for leg in legs if leg not in DIFFERENTIAL_LEGS]
     if unknown:
@@ -204,7 +206,14 @@ def differential_check(
                             engine=engine)
         findings += compare_digests("workers", a, b, context=name)
     if "engines" in legs:
+        from repro.sim.backends import backend_available, backend_names
+
         a = scenario_digest(name, seed=seed, engine="heap")
-        b = scenario_digest(name, seed=seed, engine="batched")
-        findings += compare_digests("engines", a, b, context=name)
+        for other in backend_names():
+            if other == "heap" or not backend_available(other):
+                continue
+            b = scenario_digest(name, seed=seed, engine=other)
+            findings += compare_digests(
+                "engines", a, b, context=f"{name}[heap-vs-{other}]"
+            )
     return findings

@@ -455,7 +455,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             engine=args.engine,
             progress=lambda r: print(
                 f"  {r.name}: {r.wall_s:.3f}s, {r.events} events "
-                f"({r.events_per_sec / 1e3:.0f}k ev/s, best of {r.rounds})"
+                f"({r.events_per_sec / 1e3:.0f}k ev/s, "
+                f"{r.ns_per_event:.0f} ns/event, best of {r.rounds})"
             ),
         )
         payload = bench.to_payload(results, label=args.label, quick=args.quick,

@@ -66,6 +66,11 @@ class BenchResult:
     def events_per_sec(self) -> float:
         return self.events / self.wall_s if self.wall_s > 0 else 0.0
 
+    @property
+    def ns_per_event(self) -> float:
+        """Mean dispatch cost -- the number backend work should move."""
+        return self.wall_s * 1e9 / self.events if self.events > 0 else 0.0
+
 
 # ----------------------------------------------------------------------
 # bench cases: each returns a zero-arg callable whose result is the
@@ -274,7 +279,11 @@ def to_payload(
         "quick": quick,
         "engine": engine,
         "benches": {
-            r.name: {**asdict(r), "events_per_sec": round(r.events_per_sec, 1)}
+            r.name: {
+                **asdict(r),
+                "events_per_sec": round(r.events_per_sec, 1),
+                "ns_per_event": round(r.ns_per_event, 1),
+            }
             for r in results
         },
     }

@@ -424,12 +424,11 @@ class CoreSim:
         self._rate_at_dispatch = self.effective_rate(task)
         run_for = self._run_duration(task)
         self._gen += 1
-        gen = self._gen
-        oce = self._oce
         self._event = self.engine.schedule(
             run_for if run_for > 1 else 1,
-            lambda: oce(gen),
+            self._oce,
             self._event_label,
+            self._gen,
         )
         if self._smt_active:
             self._notify_sibling_rate_change()
@@ -539,12 +538,11 @@ class CoreSim:
             self._rate_at_dispatch = self.effective_rate(task)
             run_for = self._run_duration(task)
             self._gen += 1
-            gen = self._gen
-            oce = self._oce
             self._event = self.engine.schedule(
                 run_for if run_for > 1 else 1,
-                lambda: oce(gen),
+                self._oce,
                 self._event_label,
+                self._gen,
             )
             if self._smt_active:
                 self._notify_sibling_rate_change()
@@ -844,10 +842,10 @@ class CoreSim:
         # ---- inline BatchedEngine.schedule (delay >= 1, so the
         # negative-delay validation cannot fire)
         self._gen += 1
-        gen = self._gen
-        oce = self._oce
         ev_time = now + (run_for if run_for > 1 else 1)
-        ev = Event(ev_time, engine._seq, lambda: oce(gen), self._event_label, engine)
+        ev = Event(
+            ev_time, engine._seq, self._oce, self._event_label, engine, self._gen
+        )
         engine._seq += 1
         buckets = engine._buckets
         bucket = buckets.get(ev_time)

@@ -18,6 +18,17 @@ package makes swappable:
     arms the batch-aware memoization fast paths in
     :class:`~repro.sched.core.CoreSim` and
     :class:`~repro.balance.linux.LinuxLoadBalancer`.
+``native``
+    The batched backend with its drain loop -- and the fused CFS
+    charge/requeue/pick/start path it dispatches -- compiled to C
+    (:class:`~repro.sim.backends.native.NativeEngine`).  Built on
+    demand with the stock ``cc`` toolchain, bound via stdlib
+    :mod:`ctypes`, artifact cached under a source-digest key.  The C
+    twin performs identical float operations in identical order, so
+    digests match the heap reference bit for bit.  Machines without a
+    C compiler get :class:`~repro.sim.backends.nativebuild
+    .NativeUnavailableError` at construction; use
+    :func:`backend_available` to probe.
 
 Backends are selected by name everywhere a simulation is configured --
 ``System(engine=...)``, ``run_app(engine=...)``, ``RunSpec.engine``
@@ -32,12 +43,17 @@ from __future__ import annotations
 
 from repro.sim.backends.batched import BatchedEngine
 from repro.sim.backends.heap import HeapEngine
+from repro.sim.backends.native import NativeEngine
+from repro.sim.backends.nativebuild import NativeUnavailableError, native_available
 from repro.sim.engine import Engine
 
 __all__ = [
     "ENGINE_BACKENDS",
     "BatchedEngine",
     "HeapEngine",
+    "NativeEngine",
+    "NativeUnavailableError",
+    "backend_available",
     "backend_names",
     "make_engine",
 ]
@@ -46,12 +62,28 @@ __all__ = [
 ENGINE_BACKENDS: dict[str, type[Engine]] = {
     "heap": HeapEngine,
     "batched": BatchedEngine,
+    "native": NativeEngine,
 }
 
 
 def backend_names() -> tuple[str, ...]:
     """The selectable backend names, default first."""
     return tuple(ENGINE_BACKENDS)
+
+
+def backend_available(name: str) -> bool:
+    """True iff ``name`` can actually be constructed on this machine.
+
+    Registered pure-Python backends are always available; ``native``
+    additionally needs a working C toolchain (probing it compiles and
+    caches the library as a side effect, so a True answer means later
+    constructions are cheap).
+    """
+    if name not in ENGINE_BACKENDS:
+        return False
+    if name == "native":
+        return native_available()
+    return True
 
 
 def make_engine(name: str, max_events: int = 200_000_000) -> Engine:

@@ -1,0 +1,1919 @@
+/* Native engine core: the calendar-queue drain plus the fused CFS
+ * dispatch path, compiled to machine code.
+ *
+ * This library is the C twin of two pieces of Python:
+ *
+ *   repro/sim/backends/batched.py  BatchedEngine._drain  (single=False)
+ *   repro/sched/core.py            CoreSim._on_core_event_batched
+ *
+ * It operates directly on the live Python objects (the engine's bucket
+ * dict and times heap, the run queue's entry heaps, Task attribute
+ * dicts) through the CPython C-API, performing the *identical sequence
+ * of operations* -- every float add/mul/div, every heap sift, every
+ * counter bump appears in the same order with the same operands as the
+ * Python source.  IEEE-754 doubles are what Python floats are, so the
+ * results are bit-identical and the golden run digests hold across
+ * backends.  When editing either Python twin, mirror the change here;
+ * the digest-parity suite will catch a miss.
+ *
+ * Division of labour: C owns the hot straight line (event pop, charge
+ * arithmetic, requeue, pick-next, rate/slice math, event re-schedule);
+ * Python keeps everything stateful-rare (observers, tracing, balancer
+ * idle hooks, program advance, barrier spin-timeouts, non-CFS slice
+ * policies) via call-outs.  There is exactly ONE ctypes boundary
+ * crossing per engine run -- repro_drain -- because a per-event ctypes
+ * call would cost more than the interpreted loop it replaces.
+ *
+ * The heap routines transcribe heapq's _siftdown/_siftup verbatim so
+ * list layouts (not just pop order) match the Python backends; layout
+ * differences would change later pop order after mixed push/pop
+ * sequences.
+ *
+ * Loaded with ctypes.PyDLL (GIL held; error flag checked per call) by
+ * repro.sim.backends.nativebuild.  No Python.h-level module object is
+ * involved: repro_native_init receives a dict of support objects
+ * (exception class, Event class, enum members, interned constants)
+ * and the two entry points take plain PyObject pointers.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h> /* completes PyMemberDef for slot offsets */
+#include <math.h>
+
+/* ------------------------------------------------------------------ */
+/* interned attribute names                                            */
+/* ------------------------------------------------------------------ */
+
+#define ATTR_NAMES(X)                                                       \
+    /* engine */                                                            \
+    X(now) X(_buckets) X(_times) X(_size) X(_cancelled) X(_dispatched)      \
+    X(max_events) X(_stop_requested) X(observers) X(_seq)                   \
+    /* event */                                                             \
+    X(callback) X(payload) X(cancelled) X(in_heap) X(label)                 \
+    /* core */                                                              \
+    X(_gen) X(current) X(system) X(rq) X(params) X(dispatch_started_at)     \
+    X(stats) X(_rate_at_dispatch) X(_event) X(_event_label) X(_oce)         \
+    X(_in_resched) X(_load_epoch) X(_mem_busy) X(_mem_epoch) X(_mem_track)  \
+    X(_mem_alpha) X(_co_epoch) X(_co_sum) X(_clock_factor) X(_smt_active)   \
+    X(_smt_derate) X(_sib_core) X(_numa) X(_numa_node)                      \
+    X(_numa_remote_slowdown) X(hw) X(cid) X(yield_check_us) X(throttled)    \
+    /* task */                                                              \
+    X(tid) X(name) X(weight) X(vruntime) X(exec_us) X(compute_us)           \
+    X(work_remaining) X(migration_debt_us) X(waiting_on) X(wait_mode)       \
+    X(spin_deadline) X(state) X(needs_advance) X(mem_intensity)             \
+    X(home_node) X(last_descheduled_at) X(last_core) X(cur_core)            \
+    /* run queue */                                                         \
+    X(_heap) X(_live) X(_max_heap) X(_total_weight) X(count)                \
+    X(min_vruntime)                                                         \
+    /* stats */                                                             \
+    X(busy_us) X(spin_us) X(context_switches) X(dispatches)                 \
+    /* system */                                                            \
+    X(trace) X(_kb_on_charge) X(charge_observers) X(cores)                  \
+    /* params */                                                            \
+    X(min_granularity) X(target_latency) X(yield_penalty)                   \
+    /* topology */                                                          \
+    X(smt_sibling)                                                          \
+    /* methods */                                                           \
+    X(_prepare) X(_go_idle) X(_dispatch_next) X(_mem_note_off)              \
+    X(_notify_sibling_rate_change) X(note_residency) X(spin_timeout)        \
+    X(record) X(popleft) X(append)
+
+typedef struct {
+    /* support objects (owned references, held for process lifetime) */
+    PyObject *SimulationError;
+    PyObject *EventClass;
+    PyObject *fused;         /* CoreSim._on_core_event_batched, the function */
+    PyObject *CfsParams;     /* the class; exact-type gate for slice math */
+    PyObject *st_running;    /* TaskState.RUNNING */
+    PyObject *st_runnable;   /* TaskState.RUNNABLE */
+    PyObject *wm_yield;      /* WaitMode.YIELD */
+    PyObject *entry_counter; /* runqueue._entry_counter (itertools.count) */
+    PyObject *deque_type;
+    PyObject *str_wait;      /* "wait" */
+    PyObject *str_run;       /* "run" */
+    double work_eps;
+    double nice0;            /* float(NICE_0_WEIGHT) */
+#define X(n) PyObject *n_##n;
+    ATTR_NAMES(X)
+#undef X
+} support_t;
+
+static support_t S;
+static int S_ready = 0;
+
+/* process-lifetime dispatch counters, readable via repro_native_stat:
+ * how many events ran through the C fused twin, the generic Python
+ * call, or were delegated to the Python twin (non-CFS params).  The
+ * test suite uses these to prove the fast path is actually exercised
+ * rather than silently falling back. */
+static long long stat_fused = 0;
+static long long stat_generic = 0;
+static long long stat_delegated = 0;
+
+/* ------------------------------------------------------------------ */
+/* small attribute helpers                                             */
+/* ------------------------------------------------------------------ */
+
+/* new reference, or NULL with error set */
+static inline PyObject *aget(PyObject *o, PyObject *name) {
+    return PyObject_GetAttr(o, name);
+}
+
+static inline int aset(PyObject *o, PyObject *name, PyObject *v) {
+    return PyObject_SetAttr(o, name, v);
+}
+
+static int aget_ll(PyObject *o, PyObject *name, long long *out) {
+    PyObject *v = PyObject_GetAttr(o, name);
+    if (v == NULL) return -1;
+    long long r = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (r == -1 && PyErr_Occurred()) return -1;
+    *out = r;
+    return 0;
+}
+
+static int aget_dbl(PyObject *o, PyObject *name, double *out) {
+    PyObject *v = PyObject_GetAttr(o, name);
+    if (v == NULL) return -1;
+    double r;
+    if (PyFloat_CheckExact(v)) {
+        r = PyFloat_AS_DOUBLE(v);
+    } else {
+        r = PyFloat_AsDouble(v);
+        if (r == -1.0 && PyErr_Occurred()) { Py_DECREF(v); return -1; }
+    }
+    Py_DECREF(v);
+    *out = r;
+    return 0;
+}
+
+static int aset_ll(PyObject *o, PyObject *name, long long v) {
+    PyObject *obj = PyLong_FromLongLong(v);
+    if (obj == NULL) return -1;
+    int rc = PyObject_SetAttr(o, name, obj);
+    Py_DECREF(obj);
+    return rc;
+}
+
+static int aset_dbl(PyObject *o, PyObject *name, double v) {
+    PyObject *obj = PyFloat_FromDouble(v);
+    if (obj == NULL) return -1;
+    int rc = PyObject_SetAttr(o, name, obj);
+    Py_DECREF(obj);
+    return rc;
+}
+
+/* o.name += delta on an int attribute */
+static int aadd_ll(PyObject *o, PyObject *name, long long delta) {
+    long long v;
+    if (aget_ll(o, name, &v) < 0) return -1;
+    return aset_ll(o, name, v + delta);
+}
+
+/* truthiness of attribute: 1/0, or -1 with error set */
+static int atrue(PyObject *o, PyObject *name) {
+    PyObject *v = PyObject_GetAttr(o, name);
+    if (v == NULL) return -1;
+    int rc = PyObject_IsTrue(v);
+    Py_DECREF(v);
+    return rc;
+}
+
+/* ------------------------------------------------------------------ */
+/* fast attribute access                                               */
+/*                                                                     */
+/* Generic PyObject_GetAttr costs as much as the 3.11 specializing     */
+/* interpreter's LOAD_ATTR, which is why a naive C transcription of    */
+/* the fused path runs no faster than the bytecode it replaces.  All   */
+/* hot classes except Event are plain-__dict__ classes with no data    */
+/* descriptors on the touched names, so we materialize each object's   */
+/* instance dict once (PyObject_GenericGetDict) and then read/write    */
+/* through PyDict_* with pre-interned keys.  Event has __slots__; its  */
+/* member offsets are resolved from the slot descriptors at init and   */
+/* accessed as direct struct loads.                                    */
+/* ------------------------------------------------------------------ */
+
+/* instance __dict__ of a plain-class object, materialized once; new
+ * reference (attribute writes from either side stay visible: it IS the
+ * object's dict) */
+static inline PyObject *idict(PyObject *o) {
+    return PyObject_GenericGetDict(o, NULL);
+}
+
+/* new-ref read through the instance dict; falls back to real getattr
+ * for names satisfied by the class (bound methods, defaults) */
+static PyObject *dget(PyObject *d, PyObject *o, PyObject *name) {
+    PyObject *v = PyDict_GetItemWithError(d, name);
+    if (v != NULL) {
+        Py_INCREF(v);
+        return v;
+    }
+    if (PyErr_Occurred()) return NULL;
+    return PyObject_GetAttr(o, name);
+}
+
+static int dget_ll(PyObject *d, PyObject *o, PyObject *name,
+                   long long *out) {
+    PyObject *v = PyDict_GetItemWithError(d, name); /* borrowed */
+    if (v == NULL) {
+        if (PyErr_Occurred()) return -1;
+        return aget_ll(o, name, out);
+    }
+    long long r = PyLong_AsLongLong(v);
+    if (r == -1 && PyErr_Occurred()) return -1;
+    *out = r;
+    return 0;
+}
+
+static int dget_dbl(PyObject *d, PyObject *o, PyObject *name, double *out) {
+    PyObject *v = PyDict_GetItemWithError(d, name); /* borrowed */
+    if (v == NULL) {
+        if (PyErr_Occurred()) return -1;
+        return aget_dbl(o, name, out);
+    }
+    if (PyFloat_CheckExact(v)) {
+        *out = PyFloat_AS_DOUBLE(v);
+        return 0;
+    }
+    double r = PyFloat_AsDouble(v);
+    if (r == -1.0 && PyErr_Occurred()) return -1;
+    *out = r;
+    return 0;
+}
+
+/* writes go straight into the instance dict: equivalent to setattr for
+ * plain classes (asserted at init: no slots, no data descriptors) */
+static inline int dset(PyObject *d, PyObject *name, PyObject *v) {
+    return PyDict_SetItem(d, name, v);
+}
+
+static int dset_ll(PyObject *d, PyObject *name, long long v) {
+    PyObject *obj = PyLong_FromLongLong(v);
+    if (obj == NULL) return -1;
+    int rc = PyDict_SetItem(d, name, obj);
+    Py_DECREF(obj);
+    return rc;
+}
+
+static int dset_dbl(PyObject *d, PyObject *name, double v) {
+    PyObject *obj = PyFloat_FromDouble(v);
+    if (obj == NULL) return -1;
+    int rc = PyDict_SetItem(d, name, obj);
+    Py_DECREF(obj);
+    return rc;
+}
+
+static int dadd_ll(PyObject *d, PyObject *o, PyObject *name,
+                   long long delta) {
+    long long v;
+    if (dget_ll(d, o, name, &v) < 0) return -1;
+    return dset_ll(d, name, v + delta);
+}
+
+static int dtrue(PyObject *d, PyObject *o, PyObject *name) {
+    PyObject *v = PyDict_GetItemWithError(d, name); /* borrowed */
+    if (v == NULL) {
+        if (PyErr_Occurred()) return -1;
+        return atrue(o, name);
+    }
+    if (v == Py_True) return 1;
+    if (v == Py_False || v == Py_None) return 0;
+    return PyObject_IsTrue(v);
+}
+
+/* ---- Event slot access ------------------------------------------- */
+
+enum {
+    EV_TIME,
+    EV_SEQ,
+    EV_CALLBACK,
+    EV_CANCELLED,
+    EV_LABEL,
+    EV_ENGINE,
+    EV_IN_HEAP,
+    EV_PAYLOAD,
+    EV_NSLOTS
+};
+
+static Py_ssize_t ev_off[EV_NSLOTS];
+
+#define EV_SLOT(ev, i) (*(PyObject **)((char *)(ev) + ev_off[i]))
+
+/* new ref; subclassed/forged events fall back to real getattr */
+static PyObject *ev_read(PyObject *ev, int i, PyObject *name) {
+    if ((PyObject *)Py_TYPE(ev) == S.EventClass) {
+        PyObject *v = EV_SLOT(ev, i);
+        if (v != NULL) {
+            Py_INCREF(v);
+            return v;
+        }
+    }
+    return PyObject_GetAttr(ev, name);
+}
+
+/* truthiness of an Event flag slot (cancelled / in_heap) */
+static int ev_true(PyObject *ev, int i, PyObject *name) {
+    if ((PyObject *)Py_TYPE(ev) == S.EventClass) {
+        PyObject *v = EV_SLOT(ev, i);
+        if (v == Py_True) return 1;
+        if (v == Py_False || v == Py_None) return 0;
+        if (v != NULL) return PyObject_IsTrue(v);
+    }
+    return atrue(ev, name);
+}
+
+static int ev_write(PyObject *ev, int i, PyObject *name, PyObject *v) {
+    if ((PyObject *)Py_TYPE(ev) == S.EventClass) {
+        PyObject *old = EV_SLOT(ev, i);
+        Py_INCREF(v);
+        EV_SLOT(ev, i) = v;
+        Py_XDECREF(old);
+        return 0;
+    }
+    return PyObject_SetAttr(ev, name, v);
+}
+
+/* Event(time, seq, cb, label, engine, payload) without the Python
+ * __init__ frame: allocate and fill the slots directly.  Mirrors
+ * Event.__init__ exactly -- cancelled=False, in_heap=True (engine is
+ * always non-None on this path). */
+static PyObject *event_new(PyObject *time_obj, long long seq_ll,
+                           PyObject *cb, PyObject *label, PyObject *engine,
+                           PyObject *payload) {
+    PyTypeObject *tp = (PyTypeObject *)S.EventClass;
+    PyObject *ev = tp->tp_alloc(tp, 0);
+    if (ev == NULL) return NULL;
+    PyObject *seq = PyLong_FromLongLong(seq_ll);
+    if (seq == NULL) {
+        Py_DECREF(ev);
+        return NULL;
+    }
+    Py_INCREF(time_obj);
+    EV_SLOT(ev, EV_TIME) = time_obj;
+    EV_SLOT(ev, EV_SEQ) = seq; /* fresh ref moved into the slot */
+    Py_INCREF(cb);
+    EV_SLOT(ev, EV_CALLBACK) = cb;
+    Py_INCREF(Py_False);
+    EV_SLOT(ev, EV_CANCELLED) = Py_False;
+    Py_INCREF(label);
+    EV_SLOT(ev, EV_LABEL) = label;
+    Py_INCREF(engine);
+    EV_SLOT(ev, EV_ENGINE) = engine;
+    Py_INCREF(Py_True);
+    EV_SLOT(ev, EV_IN_HEAP) = Py_True;
+    Py_INCREF(payload);
+    EV_SLOT(ev, EV_PAYLOAD) = payload;
+    return ev;
+}
+
+/* list[idx] += delta (the epoch cells: core._load_epoch[0] etc.) */
+static int cell_add(PyObject *list, long long delta) {
+    PyObject *v = PyList_GetItem(list, 0); /* borrowed */
+    if (v == NULL) return -1;
+    long long r = PyLong_AsLongLong(v);
+    if (r == -1 && PyErr_Occurred()) return -1;
+    PyObject *obj = PyLong_FromLongLong(r + delta);
+    if (obj == NULL) return -1;
+    return PyList_SetItem(list, 0, obj); /* steals obj, decrefs old */
+}
+
+/* ------------------------------------------------------------------ */
+/* heapq transcription (identical layouts to Lib/heapq.py)             */
+/* ------------------------------------------------------------------ */
+
+/* a < b, returning 1/0, or -1 with error set */
+typedef int (*lt_fn)(PyObject *a, PyObject *b);
+
+/* for the engine's _times heap: plain ints */
+static int lt_time(PyObject *a, PyObject *b) {
+    if (PyLong_CheckExact(a) && PyLong_CheckExact(b)) {
+        long long la = PyLong_AsLongLong(a);
+        if (la == -1 && PyErr_Occurred()) { PyErr_Clear(); goto generic; }
+        long long lb = PyLong_AsLongLong(b);
+        if (lb == -1 && PyErr_Occurred()) { PyErr_Clear(); goto generic; }
+        return la < lb;
+    }
+generic:
+    return PyObject_RichCompareBool(a, b, Py_LT);
+}
+
+/* for rq._heap / rq._max_heap: (float, int, ...) tuples; unique second
+ * elements mean the comparison never reaches the third */
+static int lt_entry(PyObject *a, PyObject *b) {
+    if (PyTuple_CheckExact(a) && PyTuple_CheckExact(b) &&
+        PyTuple_GET_SIZE(a) >= 2 && PyTuple_GET_SIZE(b) >= 2) {
+        PyObject *a0 = PyTuple_GET_ITEM(a, 0), *b0 = PyTuple_GET_ITEM(b, 0);
+        PyObject *a1 = PyTuple_GET_ITEM(a, 1), *b1 = PyTuple_GET_ITEM(b, 1);
+        if (PyFloat_CheckExact(a0) && PyFloat_CheckExact(b0) &&
+            PyLong_CheckExact(a1) && PyLong_CheckExact(b1)) {
+            double da = PyFloat_AS_DOUBLE(a0), db = PyFloat_AS_DOUBLE(b0);
+            if (da < db) return 1;
+            if (db < da) return 0;
+            long long la = PyLong_AsLongLong(a1);
+            if (la == -1 && PyErr_Occurred()) { PyErr_Clear(); goto generic; }
+            long long lb = PyLong_AsLongLong(b1);
+            if (lb == -1 && PyErr_Occurred()) { PyErr_Clear(); goto generic; }
+            return la < lb;
+        }
+    }
+generic:
+    return PyObject_RichCompareBool(a, b, Py_LT);
+}
+
+/* heapq._siftdown(heap, startpos, pos) */
+static int siftdown(PyObject *heap, Py_ssize_t startpos, Py_ssize_t pos,
+                    lt_fn lt) {
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        PyObject *parent = PyList_GET_ITEM(heap, parentpos);
+        int cmp = lt(newitem, parent);
+        if (cmp < 0) { Py_DECREF(newitem); return -1; }
+        if (!cmp) break;
+        Py_INCREF(parent);
+        if (PyList_SetItem(heap, pos, parent) < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        pos = parentpos;
+    }
+    return PyList_SetItem(heap, pos, newitem);
+}
+
+/* heapq._siftup(heap, pos): bubble the hole to a leaf, then siftdown */
+static int siftup(PyObject *heap, Py_ssize_t pos, lt_fn lt) {
+    Py_ssize_t endpos = PyList_GET_SIZE(heap);
+    Py_ssize_t startpos = pos;
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos) {
+            int cmp = lt(PyList_GET_ITEM(heap, childpos),
+                         PyList_GET_ITEM(heap, rightpos));
+            if (cmp < 0) { Py_DECREF(newitem); return -1; }
+            if (!cmp) childpos = rightpos;
+        }
+        PyObject *child = PyList_GET_ITEM(heap, childpos);
+        Py_INCREF(child);
+        if (PyList_SetItem(heap, pos, child) < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    if (PyList_SetItem(heap, pos, newitem) < 0) return -1;
+    return siftdown(heap, startpos, pos, lt);
+}
+
+static int heappush_c(PyObject *heap, PyObject *item, lt_fn lt) {
+    if (PyList_Append(heap, item) < 0) return -1;
+    return siftdown(heap, 0, PyList_GET_SIZE(heap) - 1, lt);
+}
+
+/* new reference, or NULL with error set; heap must be non-empty */
+static PyObject *heappop_c(PyObject *heap, lt_fn lt) {
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    PyObject *lastelt = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(lastelt);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(lastelt);
+        return NULL;
+    }
+    if (n == 1) return lastelt;
+    PyObject *returnitem = PyList_GET_ITEM(heap, 0);
+    Py_INCREF(returnitem);
+    if (PyList_SetItem(heap, 0, lastelt) < 0) { /* steals lastelt */
+        Py_DECREF(returnitem);
+        return NULL;
+    }
+    if (siftup(heap, 0, lt) < 0) {
+        Py_DECREF(returnitem);
+        return NULL;
+    }
+    return returnitem;
+}
+
+/* ------------------------------------------------------------------ */
+/* the mem-contention scope index: a sorted list of (cid, intensity)   */
+/* ------------------------------------------------------------------ */
+
+/* bisect_left(mem_busy, (cid, 0.0)): intensities are strictly
+ * positive, so the probe orders purely on cid */
+static Py_ssize_t mem_bisect_left(PyObject *mem_busy, long long cid) {
+    Py_ssize_t lo = 0, hi = PyList_GET_SIZE(mem_busy);
+    while (lo < hi) {
+        Py_ssize_t mid = (lo + hi) / 2;
+        PyObject *entry = PyList_GET_ITEM(mem_busy, mid);
+        long long c = PyLong_AsLongLong(PyTuple_GET_ITEM(entry, 0));
+        if (c < cid)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+/* del mem_busy[bisect_left(mem_busy, (cid, 0.0))] */
+static int mem_remove(PyObject *mem_busy, long long cid) {
+    Py_ssize_t idx = mem_bisect_left(mem_busy, cid);
+    return PyList_SetSlice(mem_busy, idx, idx + 1, NULL);
+}
+
+/* insort(mem_busy, (cid, intensity)): cid is absent, so bisect_right
+ * also orders purely on cid */
+static int mem_insort(PyObject *mem_busy, long long cid, double intensity) {
+    Py_ssize_t lo = 0, hi = PyList_GET_SIZE(mem_busy);
+    while (lo < hi) {
+        Py_ssize_t mid = (lo + hi) / 2;
+        PyObject *entry = PyList_GET_ITEM(mem_busy, mid);
+        long long c = PyLong_AsLongLong(PyTuple_GET_ITEM(entry, 0));
+        if (cid < c)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    PyObject *tup = Py_BuildValue("(Ld)", cid, intensity);
+    if (tup == NULL) return -1;
+    int rc = PyList_Insert(mem_busy, lo, tup);
+    Py_DECREF(tup);
+    return rc;
+}
+
+/* ------------------------------------------------------------------ */
+/* the fused core event (C twin of CoreSim._on_core_event_batched)     */
+/* ------------------------------------------------------------------ */
+
+/* Delegate the whole event to the Python twin before any mutation
+ * (used for configurations the C path does not replicate). */
+static int fused_delegate(PyObject *core, PyObject *gen_obj) {
+    PyObject *r = PyObject_CallFunctionObjArgs(S.fused, core, gen_obj, NULL);
+    if (r == NULL) return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* Returns 0 on success, -1 with a Python error set.  ``now`` is the
+ * event time (== engine.now), ``t_obj`` the live int object for it.
+ * ``engine_d`` is the engine's instance dict, owned by the caller. */
+static int fused_core_event(PyObject *core, PyObject *gen_obj,
+                            PyObject *engine, PyObject *engine_d,
+                            PyObject *buckets, PyObject *times,
+                            PyObject *t_obj, long long now) {
+    long long gen = PyLong_AsLongLong(gen_obj);
+    if (gen == -1 && PyErr_Occurred()) return -1;
+
+    PyObject *core_d = idict(core);
+    if (core_d == NULL) return -1;
+
+    long long self_gen;
+    if (dget_ll(core_d, core, S.n__gen, &self_gen) < 0) {
+        Py_DECREF(core_d);
+        return -1;
+    }
+    if (gen != self_gen) { /* superseded */
+        Py_DECREF(core_d);
+        return 0;
+    }
+
+    PyObject *task = dget(core_d, core, S.n_current);
+    if (task == NULL) { Py_DECREF(core_d); return -1; }
+    if (task == Py_None) {
+        Py_DECREF(task);
+        Py_DECREF(core_d);
+        return 0;
+    }
+
+    /* non-CFS slice policies keep the Python twin (rare configs) */
+    PyObject *params = dget(core_d, core, S.n_params);
+    if (params == NULL) {
+        Py_DECREF(task);
+        Py_DECREF(core_d);
+        return -1;
+    }
+    if ((PyObject *)Py_TYPE(params) != S.CfsParams) {
+        Py_DECREF(params);
+        Py_DECREF(task);
+        Py_DECREF(core_d);
+        stat_delegated++;
+        return fused_delegate(core, gen_obj);
+    }
+
+    PyObject *system = NULL, *rq = NULL, *stats = NULL;
+    PyObject *prev = NULL;
+    PyObject *mem_busy = NULL, *mem_epoch = NULL, *load_epoch = NULL;
+    PyObject *task_d = NULL, *prev_d = NULL;
+    PyObject *system_d = NULL, *rq_d = NULL, *stats_d = NULL;
+    int rc = -1;
+
+    task_d = idict(task);
+    if (task_d == NULL) goto done;
+    system = dget(core_d, core, S.n_system);
+    if (system == NULL) goto done;
+    system_d = idict(system);
+    if (system_d == NULL) goto done;
+    rq = dget(core_d, core, S.n_rq);
+    if (rq == NULL) goto done;
+    rq_d = idict(rq);
+    if (rq_d == NULL) goto done;
+    stats = dget(core_d, core, S.n_stats);
+    if (stats == NULL) goto done;
+    stats_d = idict(stats);
+    if (stats_d == NULL) goto done;
+    load_epoch = dget(core_d, core, S.n__load_epoch);
+    if (load_epoch == NULL) goto done;
+    mem_busy = dget(core_d, core, S.n__mem_busy);
+    if (mem_busy == NULL) goto done;
+    mem_epoch = dget(core_d, core, S.n__mem_epoch);
+    if (mem_epoch == NULL) goto done;
+
+    long long cid;
+    if (dget_ll(core_d, core, S.n_cid, &cid) < 0) goto done;
+
+    /* ---- inline _charge_current ---------------------------------- */
+    long long dsa;
+    if (dget_ll(core_d, core, S.n_dispatch_started_at, &dsa) < 0) goto done;
+    long long dt = now - dsa;
+    if (dt > 0) {
+        if (dset(core_d, S.n_dispatch_started_at, t_obj) < 0) goto done;
+        if (dadd_ll(task_d, task, S.n_exec_us, dt) < 0) goto done;
+        PyObject *waiting_on = dget(task_d, task, S.n_waiting_on);
+        if (waiting_on == NULL) goto done;
+        int waiting = (waiting_on != Py_None);
+        Py_DECREF(waiting_on);
+
+        PyObject *trace = dget(system_d, system, S.n_trace);
+        if (trace == NULL) goto done;
+        if (trace != Py_None) {
+            PyObject *tid = dget(task_d, task, S.n_tid);
+            PyObject *name = tid ? dget(task_d, task, S.n_name) : NULL;
+            PyObject *cid_obj = name ? PyLong_FromLongLong(cid) : NULL;
+            PyObject *start = cid_obj ? PyLong_FromLongLong(now - dt) : NULL;
+            PyObject *r = NULL;
+            if (start != NULL)
+                r = PyObject_CallMethodObjArgs(
+                    trace, S.n_record, tid, name, cid_obj, start, t_obj,
+                    waiting ? S.str_wait : S.str_run, NULL);
+            Py_XDECREF(tid);
+            Py_XDECREF(name);
+            Py_XDECREF(cid_obj);
+            Py_XDECREF(start);
+            if (r == NULL) { Py_DECREF(trace); goto done; }
+            Py_DECREF(r);
+        }
+        Py_DECREF(trace);
+
+        long long weight;
+        if (dget_ll(task_d, task, S.n_weight, &weight) < 0) goto done;
+        double vruntime;
+        if (dget_dbl(task_d, task, S.n_vruntime, &vruntime) < 0) goto done;
+        double vr = vruntime + (double)dt * (S.nice0 / (double)weight);
+        if (dset_dbl(task_d, S.n_vruntime, vr) < 0) goto done;
+
+        /* inline rq.note_current_vruntime(vr): lazy peek-min scan */
+        {
+            double floor_v = vr;
+            PyObject *heap_ = dget(rq_d, rq, S.n__heap);
+            if (heap_ == NULL) goto done;
+            PyObject *live = dget(rq_d, rq, S.n__live);
+            if (live == NULL) { Py_DECREF(heap_); goto done; }
+            int scan_fail = 0;
+            while (PyList_GET_SIZE(heap_) > 0) {
+                PyObject *entry = PyList_GET_ITEM(heap_, 0); /* borrowed */
+                PyObject *etask = PyTuple_GET_ITEM(entry, 2);
+                PyObject *tid = aget(etask, S.n_tid);
+                if (tid == NULL) { scan_fail = 1; break; }
+                PyObject *got = PyDict_GetItemWithError(live, tid);
+                Py_DECREF(tid);
+                if (got == NULL && PyErr_Occurred()) { scan_fail = 1; break; }
+                if (got == entry) {
+                    double e0 = PyFloat_AS_DOUBLE(PyTuple_GET_ITEM(entry, 0));
+                    if (e0 < floor_v) floor_v = e0;
+                    break;
+                }
+                PyObject *dead = heappop_c(heap_, lt_entry);
+                if (dead == NULL) { scan_fail = 1; break; }
+                Py_DECREF(dead);
+            }
+            Py_DECREF(heap_);
+            Py_DECREF(live);
+            if (scan_fail) goto done;
+            double minvr;
+            if (dget_dbl(rq_d, rq, S.n_min_vruntime, &minvr) < 0) goto done;
+            if (floor_v > minvr &&
+                dset_dbl(rq_d, S.n_min_vruntime, floor_v) < 0)
+                goto done;
+        }
+
+        if (dadd_ll(stats_d, stats, S.n_busy_us, dt) < 0) goto done;
+        if (waiting) {
+            if (dadd_ll(stats_d, stats, S.n_spin_us, dt) < 0) goto done;
+        } else {
+            double rate;
+            if (dget_dbl(core_d, core, S.n__rate_at_dispatch, &rate) < 0)
+                goto done;
+            double md;
+            if (dget_dbl(task_d, task, S.n_migration_debt_us, &md) < 0)
+                goto done;
+            double ddt = (double)dt;
+            double debt_paid = (md < ddt) ? md : ddt; /* min(float(dt), md) */
+            if (dset_dbl(task_d, S.n_migration_debt_us, md - debt_paid) < 0)
+                goto done;
+            double productive = ddt - debt_paid;
+            double wr;
+            if (dget_dbl(task_d, task, S.n_work_remaining, &wr) < 0)
+                goto done;
+            if (dset_dbl(task_d, S.n_work_remaining,
+                         wr - productive * rate) < 0)
+                goto done;
+            if (dadd_ll(task_d, task, S.n_compute_us,
+                        (long long)productive) < 0)
+                goto done;
+        }
+
+        PyObject *kb = dget(system_d, system, S.n__kb_on_charge);
+        if (kb == NULL) goto done;
+        PyObject *observers = dget(system_d, system, S.n_charge_observers);
+        if (observers == NULL) { Py_DECREF(kb); goto done; }
+        if (kb != Py_None || PyList_GET_SIZE(observers) > 0) {
+            PyObject *dt_obj = PyLong_FromLongLong(dt);
+            if (dt_obj == NULL) {
+                Py_DECREF(kb);
+                Py_DECREF(observers);
+                goto done;
+            }
+            int call_fail = 0;
+            if (kb != Py_None) {
+                PyObject *r = PyObject_CallFunctionObjArgs(
+                    kb, core, task, dt_obj, NULL);
+                if (r == NULL) call_fail = 1; else Py_DECREF(r);
+            }
+            for (Py_ssize_t i = 0;
+                 !call_fail && i < PyList_GET_SIZE(observers); i++) {
+                PyObject *obs = PyList_GET_ITEM(observers, i);
+                Py_INCREF(obs);
+                PyObject *r = PyObject_CallFunctionObjArgs(
+                    obs, core, task, dt_obj, NULL);
+                Py_DECREF(obs);
+                if (r == NULL) call_fail = 1; else Py_DECREF(r);
+            }
+            Py_DECREF(dt_obj);
+            if (call_fail) {
+                Py_DECREF(kb);
+                Py_DECREF(observers);
+                goto done;
+            }
+        }
+        Py_DECREF(kb);
+        Py_DECREF(observers);
+    }
+
+    /* ---- inline _on_core_event's wait/work bookkeeping ----------- */
+    {
+        PyObject *waiting_on = dget(task_d, task, S.n_waiting_on);
+        if (waiting_on == NULL) goto done;
+        if (waiting_on != Py_None) {
+            PyObject *deadline = dget(task_d, task, S.n_spin_deadline);
+            if (deadline == NULL) { Py_DECREF(waiting_on); goto done; }
+            if (deadline != Py_None) {
+                long long dl = PyLong_AsLongLong(deadline);
+                if (dl == -1 && PyErr_Occurred()) {
+                    Py_DECREF(deadline);
+                    Py_DECREF(waiting_on);
+                    goto done;
+                }
+                if (now >= dl) {
+                    /* rare: KMP_BLOCKTIME expired -- the same sequence
+                     * of shared slow helpers the Python twin calls */
+                    Py_DECREF(deadline);
+                    if (dset(core_d, S.n_current, Py_None) < 0 ||
+                        cell_add(load_epoch, 1) < 0) {
+                        Py_DECREF(waiting_on);
+                        goto done;
+                    }
+                    PyObject *r = PyObject_CallMethodObjArgs(
+                        core, S.n__mem_note_off, task, NULL);
+                    if (r == NULL) { Py_DECREF(waiting_on); goto done; }
+                    Py_DECREF(r);
+                    if (dset(task_d, S.n_last_descheduled_at, t_obj) < 0 ||
+                        dset_ll(task_d, S.n_last_core, cid) < 0) {
+                        Py_DECREF(waiting_on);
+                        goto done;
+                    }
+                    r = PyObject_CallMethodObjArgs(
+                        waiting_on, S.n_spin_timeout, task, t_obj, NULL);
+                    Py_DECREF(waiting_on);
+                    if (r == NULL) goto done;
+                    Py_DECREF(r);
+                    r = PyObject_CallMethodObjArgs(
+                        system, S.n_note_residency, task, NULL);
+                    if (r == NULL) goto done;
+                    Py_DECREF(r);
+                    r = PyObject_CallMethodObjArgs(
+                        core, S.n__dispatch_next, NULL);
+                    if (r == NULL) goto done;
+                    Py_DECREF(r);
+                    rc = 0;
+                    goto done;
+                }
+            }
+            Py_DECREF(deadline);
+
+            PyObject *wm = dget(task_d, task, S.n_wait_mode);
+            if (wm == NULL) { Py_DECREF(waiting_on); goto done; }
+            int is_yield = (wm == S.wm_yield);
+            Py_DECREF(wm);
+            if (is_yield) {
+                /* inline rq.max_vruntime(): lazy max-heap peek */
+                PyObject *mheap = dget(rq_d, rq, S.n__max_heap);
+                if (mheap == NULL) { Py_DECREF(waiting_on); goto done; }
+                PyObject *live = dget(rq_d, rq, S.n__live);
+                if (live == NULL) {
+                    Py_DECREF(mheap);
+                    Py_DECREF(waiting_on);
+                    goto done;
+                }
+                double mv;
+                if (dget_dbl(rq_d, rq, S.n_min_vruntime, &mv) < 0) {
+                    Py_DECREF(mheap);
+                    Py_DECREF(live);
+                    Py_DECREF(waiting_on);
+                    goto done;
+                }
+                int scan_fail = 0;
+                while (PyList_GET_SIZE(mheap) > 0) {
+                    PyObject *top = PyList_GET_ITEM(mheap, 0); /* borrowed */
+                    PyObject *mentry = PyTuple_GET_ITEM(top, 2);
+                    PyObject *etask = PyTuple_GET_ITEM(mentry, 2);
+                    PyObject *tid = aget(etask, S.n_tid);
+                    if (tid == NULL) { scan_fail = 1; break; }
+                    PyObject *got = PyDict_GetItemWithError(live, tid);
+                    Py_DECREF(tid);
+                    if (got == NULL && PyErr_Occurred()) {
+                        scan_fail = 1;
+                        break;
+                    }
+                    if (got == mentry) {
+                        mv = PyFloat_AS_DOUBLE(PyTuple_GET_ITEM(mentry, 0));
+                        break;
+                    }
+                    PyObject *dead = heappop_c(mheap, lt_entry);
+                    if (dead == NULL) { scan_fail = 1; break; }
+                    Py_DECREF(dead);
+                }
+                Py_DECREF(mheap);
+                Py_DECREF(live);
+                if (scan_fail) { Py_DECREF(waiting_on); goto done; }
+                double vruntime, penalty;
+                if (dget_dbl(task_d, task, S.n_vruntime, &vruntime) < 0 ||
+                    aget_dbl(params, S.n_yield_penalty, &penalty) < 0) {
+                    Py_DECREF(waiting_on);
+                    goto done;
+                }
+                double vr = ((mv > vruntime) ? mv : vruntime) + penalty;
+                if (dset_dbl(task_d, S.n_vruntime, vr) < 0) {
+                    Py_DECREF(waiting_on);
+                    goto done;
+                }
+            }
+        } else {
+            double wr, md;
+            if (dget_dbl(task_d, task, S.n_work_remaining, &wr) < 0 ||
+                dget_dbl(task_d, task, S.n_migration_debt_us, &md) < 0) {
+                Py_DECREF(waiting_on);
+                goto done;
+            }
+            if (wr <= S.work_eps && md <= S.work_eps) {
+                if (dset_dbl(task_d, S.n_work_remaining, 0.0) < 0 ||
+                    dset(task_d, S.n_needs_advance, Py_True) < 0) {
+                    Py_DECREF(waiting_on);
+                    goto done;
+                }
+            }
+        }
+        Py_DECREF(waiting_on);
+    }
+
+    /* ---- inline _redispatch -------------------------------------- */
+    int fast_path;
+    {
+        long long rq_count;
+        if (dget_ll(rq_d, rq, S.n_count, &rq_count) < 0) goto done;
+        fast_path = (rq_count == 0);
+        if (fast_path) {
+            int throttled = dtrue(task_d, task, S.n_throttled);
+            if (throttled < 0) goto done;
+            fast_path = !throttled;
+        }
+        if (fast_path) {
+            PyObject *st = dget(task_d, task, S.n_state);
+            if (st == NULL) goto done;
+            fast_path = (st == S.st_running);
+            Py_DECREF(st);
+        }
+        if (fast_path) {
+            PyObject *waiting_on = dget(task_d, task, S.n_waiting_on);
+            if (waiting_on == NULL) goto done;
+            int cond = (waiting_on != Py_None);
+            Py_DECREF(waiting_on);
+            if (!cond) {
+                int na = dtrue(task_d, task, S.n_needs_advance);
+                if (na < 0) goto done;
+                if (!na) {
+                    double wr, md;
+                    if (dget_dbl(task_d, task, S.n_work_remaining, &wr) < 0 ||
+                        dget_dbl(task_d, task, S.n_migration_debt_us,
+                                 &md) < 0)
+                        goto done;
+                    cond = (wr > S.work_eps || md > S.work_eps);
+                }
+            }
+            fast_path = cond;
+        }
+    }
+
+    int off_pending = 0;
+
+    if (fast_path) {
+        /* lone-task fast path: the queue round trip is an identity */
+        if (dset(task_d, S.n_last_descheduled_at, t_obj) < 0 ||
+            dset_ll(task_d, S.n_last_core, cid) < 0 ||
+            dadd_ll(stats_d, stats, S.n_context_switches, 1) < 0 ||
+            dadd_ll(stats_d, stats, S.n_dispatches, 1) < 0)
+            goto done;
+    } else {
+        /* ---- inline _put_back_current ---------------------------- */
+        if (dset(core_d, S.n_current, Py_None) < 0) goto done;
+        prev = task; /* alias; prev's ref is task's ref */
+        Py_INCREF(prev);
+        prev_d = task_d;
+        Py_INCREF(prev_d);
+        {
+            int track = dtrue(core_d, core, S.n__mem_track);
+            if (track < 0) goto done;
+            if (track) {
+                double mi;
+                if (dget_dbl(prev_d, prev, S.n_mem_intensity, &mi) < 0)
+                    goto done;
+                off_pending = (mi > 0.0);
+            }
+        }
+        if (dset(task_d, S.n_last_descheduled_at, t_obj) < 0 ||
+            dset_ll(task_d, S.n_last_core, cid) < 0 ||
+            dadd_ll(stats_d, stats, S.n_context_switches, 1) < 0)
+            goto done;
+        {
+            PyObject *st = dget(task_d, task, S.n_state);
+            if (st == NULL) goto done;
+            int running = (st == S.st_running);
+            Py_DECREF(st);
+            if (running) {
+                if (dset(task_d, S.n_state, S.st_runnable) < 0) goto done;
+                int throttled = dtrue(task_d, task, S.n_throttled);
+                if (throttled < 0) goto done;
+                if (throttled) {
+                    if (cell_add(load_epoch, 1) < 0) goto done;
+                    PyObject *parked = dget(core_d, core, S.n_throttled);
+                    if (parked == NULL) goto done;
+                    int arc = PyList_Append(parked, task);
+                    Py_DECREF(parked);
+                    if (arc < 0) goto done;
+                } else {
+                    /* inline rq.push(task): requeue is load-neutral */
+                    double vruntime;
+                    long long weight;
+                    if (dget_dbl(task_d, task, S.n_vruntime, &vruntime) < 0 ||
+                        dget_ll(task_d, task, S.n_weight, &weight) < 0)
+                        goto done;
+                    PyObject *cnt = PyIter_Next(S.entry_counter);
+                    if (cnt == NULL) goto done;
+                    long long cnt_ll = PyLong_AsLongLong(cnt);
+                    PyObject *vr_obj = PyFloat_FromDouble(vruntime);
+                    PyObject *entry =
+                        vr_obj ? PyTuple_Pack(3, vr_obj, cnt, task) : NULL;
+                    Py_XDECREF(vr_obj);
+                    Py_DECREF(cnt);
+                    if (entry == NULL) goto done;
+                    PyObject *tid = dget(task_d, task, S.n_tid);
+                    if (tid == NULL) { Py_DECREF(entry); goto done; }
+                    PyObject *live = dget(rq_d, rq, S.n__live);
+                    PyObject *heap_ = live ? dget(rq_d, rq, S.n__heap) : NULL;
+                    PyObject *mheap =
+                        heap_ ? dget(rq_d, rq, S.n__max_heap) : NULL;
+                    int push_fail = (mheap == NULL);
+                    if (!push_fail)
+                        push_fail = (PyDict_SetItem(live, tid, entry) < 0);
+                    if (!push_fail)
+                        push_fail = (heappush_c(heap_, entry, lt_entry) < 0);
+                    if (!push_fail) {
+                        PyObject *neg_vr = PyFloat_FromDouble(-vruntime);
+                        PyObject *neg_cnt =
+                            neg_vr ? PyLong_FromLongLong(-cnt_ll) : NULL;
+                        PyObject *mentry =
+                            neg_cnt ? PyTuple_Pack(3, neg_vr, neg_cnt, entry)
+                                    : NULL;
+                        Py_XDECREF(neg_vr);
+                        Py_XDECREF(neg_cnt);
+                        if (mentry == NULL) {
+                            push_fail = 1;
+                        } else {
+                            push_fail =
+                                (heappush_c(mheap, mentry, lt_entry) < 0);
+                            Py_DECREF(mentry);
+                        }
+                    }
+                    Py_DECREF(tid);
+                    Py_XDECREF(live);
+                    Py_XDECREF(heap_);
+                    Py_XDECREF(mheap);
+                    Py_DECREF(entry);
+                    if (push_fail) goto done;
+                    if (dadd_ll(rq_d, rq, S.n__total_weight, weight) < 0 ||
+                        dadd_ll(rq_d, rq, S.n_count, 1) < 0)
+                        goto done;
+                }
+            } else {
+                if (cell_add(load_epoch, 1) < 0) goto done;
+            }
+        }
+
+        /* ---- inline _dispatch_next (cancel folded in) ------------ */
+        if (dset(core_d, S.n__event, Py_None) < 0 ||
+            dadd_ll(core_d, core, S.n__gen, 1) < 0 ||
+            dset(core_d, S.n__in_resched, Py_True) < 0)
+            goto done;
+        Py_CLEAR(task); /* rebound by the pick loop below */
+        Py_CLEAR(task_d);
+        int loop_fail = 0;
+        for (;;) {
+            /* re-read _heap/_live each lap: _go_idle/_prepare side
+             * effects can compact (rebind) them */
+            PyObject *heap_ = dget(rq_d, rq, S.n__heap);
+            PyObject *live = heap_ ? dget(rq_d, rq, S.n__live) : NULL;
+            if (live == NULL) {
+                Py_XDECREF(heap_);
+                loop_fail = 1;
+                break;
+            }
+            /* inline rq.pop_min() */
+            Py_CLEAR(task);
+            Py_CLEAR(task_d);
+            while (PyList_GET_SIZE(heap_) > 0) {
+                PyObject *entry = heappop_c(heap_, lt_entry);
+                if (entry == NULL) { loop_fail = 1; break; }
+                PyObject *cand = PyTuple_GET_ITEM(entry, 2);
+                PyObject *tid = aget(cand, S.n_tid);
+                if (tid == NULL) {
+                    Py_DECREF(entry);
+                    loop_fail = 1;
+                    break;
+                }
+                PyObject *got = PyDict_GetItemWithError(live, tid);
+                if (got == NULL && PyErr_Occurred()) {
+                    Py_DECREF(tid);
+                    Py_DECREF(entry);
+                    loop_fail = 1;
+                    break;
+                }
+                if (got == entry) {
+                    long long weight;
+                    if (PyDict_DelItem(live, tid) < 0 ||
+                        aget_ll(cand, S.n_weight, &weight) < 0 ||
+                        dadd_ll(rq_d, rq, S.n__total_weight, -weight) < 0 ||
+                        dadd_ll(rq_d, rq, S.n_count, -1) < 0) {
+                        Py_DECREF(tid);
+                        Py_DECREF(entry);
+                        loop_fail = 1;
+                        break;
+                    }
+                    double e0 = PyFloat_AS_DOUBLE(PyTuple_GET_ITEM(entry, 0));
+                    double minvr;
+                    if (dget_dbl(rq_d, rq, S.n_min_vruntime, &minvr) < 0 ||
+                        (e0 > minvr &&
+                         dset_dbl(rq_d, S.n_min_vruntime, e0) < 0)) {
+                        Py_DECREF(tid);
+                        Py_DECREF(entry);
+                        loop_fail = 1;
+                        break;
+                    }
+                    task = cand;
+                    Py_INCREF(task);
+                    Py_DECREF(tid);
+                    Py_DECREF(entry);
+                    task_d = idict(task);
+                    if (task_d == NULL) { loop_fail = 1; break; }
+                    break;
+                }
+                Py_DECREF(tid);
+                Py_DECREF(entry);
+            }
+            Py_DECREF(heap_);
+            Py_DECREF(live);
+            if (loop_fail) break;
+
+            if (task == NULL) {
+                if (off_pending) { /* flush before readers can look */
+                    off_pending = 0;
+                    if (mem_remove(mem_busy, cid) < 0 ||
+                        cell_add(mem_epoch, 1) < 0) {
+                        loop_fail = 1;
+                        break;
+                    }
+                }
+                PyObject *r =
+                    PyObject_CallMethodObjArgs(core, S.n__go_idle, NULL);
+                if (r == NULL) { loop_fail = 1; break; }
+                Py_DECREF(r);
+                long long rq_count;
+                if (dget_ll(rq_d, rq, S.n_count, &rq_count) < 0) {
+                    loop_fail = 1;
+                    break;
+                }
+                if (rq_count == 0) {
+                    /* genuinely idle */
+                    if (dset(core_d, S.n__in_resched, Py_False) < 0)
+                        goto done;
+                    rc = 0;
+                    goto done;
+                }
+                continue; /* idle balance pulled something */
+            }
+            {
+                int throttled = dtrue(task_d, task, S.n_throttled);
+                if (throttled < 0) { loop_fail = 1; break; }
+                if (throttled) {
+                    if (cell_add(load_epoch, 1) < 0) { loop_fail = 1; break; }
+                    PyObject *parked = dget(core_d, core, S.n_throttled);
+                    if (parked == NULL) { loop_fail = 1; break; }
+                    int arc = PyList_Append(parked, task);
+                    Py_DECREF(parked);
+                    if (arc < 0) { loop_fail = 1; break; }
+                    continue;
+                }
+            }
+            {
+                PyObject *waiting_on = dget(task_d, task, S.n_waiting_on);
+                if (waiting_on == NULL) { loop_fail = 1; break; }
+                int ready = (waiting_on != Py_None);
+                Py_DECREF(waiting_on);
+                if (!ready) {
+                    int na = dtrue(task_d, task, S.n_needs_advance);
+                    if (na < 0) { loop_fail = 1; break; }
+                    if (!na) {
+                        double wr, md;
+                        if (dget_dbl(task_d, task, S.n_work_remaining,
+                                     &wr) < 0 ||
+                            dget_dbl(task_d, task, S.n_migration_debt_us,
+                                     &md) < 0) {
+                            loop_fail = 1;
+                            break;
+                        }
+                        ready = (wr > S.work_eps || md > S.work_eps);
+                    }
+                }
+                if (ready) break; /* _prepare's immediate-True cases */
+            }
+            if (off_pending) { /* flush before readers can look */
+                off_pending = 0;
+                if (mem_remove(mem_busy, cid) < 0 ||
+                    cell_add(mem_epoch, 1) < 0) {
+                    loop_fail = 1;
+                    break;
+                }
+            }
+            {
+                PyObject *r = PyObject_CallMethodObjArgs(
+                    core, S.n__prepare, task, NULL);
+                if (r == NULL) { loop_fail = 1; break; }
+                int prepared = PyObject_IsTrue(r);
+                Py_DECREF(r);
+                if (prepared < 0) { loop_fail = 1; break; }
+                if (prepared) break;
+            }
+            /* slept or exited during prepare: load really dropped */
+            if (cell_add(load_epoch, 1) < 0) { loop_fail = 1; break; }
+        }
+        /* the Python twin's try/finally */
+        if (dset(core_d, S.n__in_resched, Py_False) < 0) goto done;
+        if (loop_fail) goto done;
+
+        /* ---- inline _start (sans the shared schedule tail) ------- */
+        if (dset(task_d, S.n_state, S.st_running) < 0 ||
+            dset_ll(task_d, S.n_cur_core, cid) < 0 ||
+            dset(core_d, S.n_current, task) < 0)
+            goto done;
+        {
+            double ti = 0.0, pi = 0.0;
+            if (dget_dbl(task_d, task, S.n_mem_intensity, &ti) < 0 ||
+                dget_dbl(prev_d, prev, S.n_mem_intensity, &pi) < 0)
+                goto done;
+            if (off_pending && ti == pi) {
+                /* identity remove+insort of the same pair: elided */
+            } else {
+                if (off_pending) {
+                    if (mem_remove(mem_busy, cid) < 0 ||
+                        cell_add(mem_epoch, 1) < 0)
+                        goto done;
+                }
+                int track = dtrue(core_d, core, S.n__mem_track);
+                if (track < 0) goto done;
+                if (track && ti > 0.0) {
+                    if (mem_insort(mem_busy, cid, ti) < 0 ||
+                        cell_add(mem_epoch, 1) < 0)
+                        goto done;
+                }
+            }
+        }
+        if (dset(core_d, S.n_dispatch_started_at, t_obj) < 0 ||
+            dadd_ll(stats_d, stats, S.n_dispatches, 1) < 0)
+            goto done;
+    }
+
+    /* ---- inline effective_rate ----------------------------------- */
+    double rate;
+    {
+        if (dget_dbl(core_d, core, S.n__clock_factor, &rate) < 0) goto done;
+        int smt_active = dtrue(core_d, core, S.n__smt_active);
+        if (smt_active < 0) goto done;
+        if (smt_active) {
+            PyObject *sib = dget(core_d, core, S.n__sib_core);
+            if (sib == NULL) goto done;
+            if (sib == Py_None) {
+                PyObject *hw = dget(core_d, core, S.n_hw);
+                if (hw == NULL) { Py_DECREF(sib); goto done; }
+                PyObject *sib_id = aget(hw, S.n_smt_sibling);
+                Py_DECREF(hw);
+                if (sib_id == NULL) { Py_DECREF(sib); goto done; }
+                if (sib_id != Py_None) {
+                    PyObject *cores = dget(system_d, system, S.n_cores);
+                    if (cores == NULL) {
+                        Py_DECREF(sib_id);
+                        Py_DECREF(sib);
+                        goto done;
+                    }
+                    PyObject *resolved = PyObject_GetItem(cores, sib_id);
+                    Py_DECREF(cores);
+                    if (resolved == NULL) {
+                        Py_DECREF(sib_id);
+                        Py_DECREF(sib);
+                        goto done;
+                    }
+                    if (dset(core_d, S.n__sib_core, resolved) < 0) {
+                        Py_DECREF(resolved);
+                        Py_DECREF(sib_id);
+                        Py_DECREF(sib);
+                        goto done;
+                    }
+                    Py_DECREF(sib);
+                    sib = resolved;
+                }
+                Py_DECREF(sib_id);
+            }
+            if (sib != Py_None) {
+                PyObject *sib_cur = aget(sib, S.n_current);
+                if (sib_cur == NULL) { Py_DECREF(sib); goto done; }
+                if (sib_cur != Py_None) {
+                    double derate;
+                    if (dget_dbl(core_d, core, S.n__smt_derate,
+                                 &derate) < 0) {
+                        Py_DECREF(sib_cur);
+                        Py_DECREF(sib);
+                        goto done;
+                    }
+                    rate *= derate;
+                }
+                Py_DECREF(sib_cur);
+            }
+            Py_DECREF(sib);
+        }
+        PyObject *home = dget(task_d, task, S.n_home_node);
+        if (home == NULL) goto done;
+        int numa = dtrue(core_d, core, S.n__numa);
+        if (numa < 0) { Py_DECREF(home); goto done; }
+        if (numa && home != Py_None) {
+            long long home_ll = PyLong_AsLongLong(home);
+            long long my_node;
+            if ((home_ll == -1 && PyErr_Occurred()) ||
+                dget_ll(core_d, core, S.n__numa_node, &my_node) < 0) {
+                Py_DECREF(home);
+                goto done;
+            }
+            if (home_ll != my_node) {
+                double slow;
+                if (dget_dbl(core_d, core, S.n__numa_remote_slowdown,
+                             &slow) < 0) {
+                    Py_DECREF(home);
+                    goto done;
+                }
+                rate /= slow;
+            }
+        }
+        Py_DECREF(home);
+        double mi;
+        if (dget_dbl(task_d, task, S.n_mem_intensity, &mi) < 0) goto done;
+        int track = dtrue(core_d, core, S.n__mem_track);
+        if (track < 0) goto done;
+        if (track && mi > 0.0) {
+            long long co_epoch, scope_epoch;
+            PyObject *cell = PyList_GetItem(mem_epoch, 0); /* borrowed */
+            if (cell == NULL) goto done;
+            scope_epoch = PyLong_AsLongLong(cell);
+            if (scope_epoch == -1 && PyErr_Occurred()) goto done;
+            if (dget_ll(core_d, core, S.n__co_epoch, &co_epoch) < 0)
+                goto done;
+            double co;
+            if (co_epoch == scope_epoch) {
+                if (dget_dbl(core_d, core, S.n__co_sum, &co) < 0) goto done;
+            } else {
+                co = 0.0;
+                Py_ssize_t n = PyList_GET_SIZE(mem_busy);
+                for (Py_ssize_t i = 0; i < n; i++) {
+                    PyObject *e = PyList_GET_ITEM(mem_busy, i);
+                    long long c =
+                        PyLong_AsLongLong(PyTuple_GET_ITEM(e, 0));
+                    if (c != cid)
+                        co += PyFloat_AS_DOUBLE(PyTuple_GET_ITEM(e, 1));
+                }
+                if (dset_ll(core_d, S.n__co_epoch, scope_epoch) < 0 ||
+                    dset_dbl(core_d, S.n__co_sum, co) < 0)
+                    goto done;
+            }
+            double alpha;
+            if (dget_dbl(core_d, core, S.n__mem_alpha, &alpha) < 0)
+                goto done;
+            rate /= 1.0 + mi * alpha * co;
+        }
+        if (dset_dbl(core_d, S.n__rate_at_dispatch, rate) < 0) goto done;
+    }
+
+    /* ---- inline _run_duration ------------------------------------ */
+    long long run_for;
+    {
+        long long rq_count, weight, rq_weight;
+        if (dget_ll(rq_d, rq, S.n_count, &rq_count) < 0 ||
+            dget_ll(task_d, task, S.n_weight, &weight) < 0 ||
+            dget_ll(rq_d, rq, S.n__total_weight, &rq_weight) < 0)
+            goto done;
+        long long nr = rq_count + 1;
+        long long total_weight = rq_weight + weight;
+        long long min_gran, target_lat;
+        if (aget_ll(params, S.n_min_granularity, &min_gran) < 0 ||
+            aget_ll(params, S.n_target_latency, &target_lat) < 0)
+            goto done;
+        long long scaled = nr * min_gran;
+        long long period = target_lat;
+        if (scaled > period) period = scaled;
+        long long slice_us;
+        /* int(period * weight / total_weight): exact as a double when
+         * the product stays under 2**53 (always, for sane configs);
+         * fall back to PyLong arithmetic beyond that */
+        if (period < (1LL << 53) / (weight > 0 ? weight : 1)) {
+            slice_us = (long long)(((double)period * (double)weight) /
+                                   (double)total_weight);
+        } else {
+            PyObject *p = PyLong_FromLongLong(period);
+            PyObject *w = p ? PyLong_FromLongLong(weight) : NULL;
+            PyObject *tw = w ? PyLong_FromLongLong(total_weight) : NULL;
+            PyObject *prod = tw ? PyNumber_Multiply(p, w) : NULL;
+            PyObject *quot = prod ? PyNumber_TrueDivide(prod, tw) : NULL;
+            Py_XDECREF(p);
+            Py_XDECREF(w);
+            Py_XDECREF(tw);
+            Py_XDECREF(prod);
+            if (quot == NULL) goto done;
+            slice_us = (long long)PyFloat_AsDouble(quot);
+            Py_DECREF(quot);
+            if (PyErr_Occurred()) goto done;
+        }
+        if (slice_us < min_gran) slice_us = min_gran;
+
+        PyObject *waiting_on = dget(task_d, task, S.n_waiting_on);
+        if (waiting_on == NULL) goto done;
+        if (waiting_on != Py_None) {
+            int is_yield = 0;
+            PyObject *wm = dget(task_d, task, S.n_wait_mode);
+            if (wm == NULL) { Py_DECREF(waiting_on); goto done; }
+            is_yield = (wm == S.wm_yield);
+            Py_DECREF(wm);
+            if (is_yield && rq_count > 0) {
+                long long ycheck;
+                if (dget_ll(core_d, core, S.n_yield_check_us, &ycheck) < 0) {
+                    Py_DECREF(waiting_on);
+                    goto done;
+                }
+                run_for = (ycheck < slice_us) ? ycheck : slice_us;
+            } else {
+                run_for = slice_us;
+            }
+            PyObject *deadline = dget(task_d, task, S.n_spin_deadline);
+            if (deadline == NULL) { Py_DECREF(waiting_on); goto done; }
+            if (deadline != Py_None) {
+                long long dl = PyLong_AsLongLong(deadline);
+                if (dl == -1 && PyErr_Occurred()) {
+                    Py_DECREF(deadline);
+                    Py_DECREF(waiting_on);
+                    goto done;
+                }
+                long long margin = dl - now;
+                if (margin < 1) margin = 1;
+                if (margin < run_for) run_for = margin;
+            }
+            Py_DECREF(deadline);
+        } else {
+            double wr, md;
+            if (dget_dbl(task_d, task, S.n_migration_debt_us, &md) < 0 ||
+                dget_dbl(task_d, task, S.n_work_remaining, &wr) < 0) {
+                Py_DECREF(waiting_on);
+                goto done;
+            }
+            double need = md + wr / rate;
+            long long ceiled = (long long)ceil(need - 1e-9);
+            run_for = (ceiled < slice_us) ? ceiled : slice_us;
+        }
+        Py_DECREF(waiting_on);
+    }
+
+    /* ---- inline BatchedEngine.schedule (the shared tail) --------- */
+    {
+        long long gen2;
+        if (dget_ll(core_d, core, S.n__gen, &gen2) < 0) goto done;
+        gen2 += 1;
+        if (dset_ll(core_d, S.n__gen, gen2) < 0) goto done;
+        long long delay = (run_for > 1) ? run_for : 1;
+        PyObject *ev_time = PyLong_FromLongLong(now + delay);
+        if (ev_time == NULL) goto done;
+        long long seq_ll;
+        if (dget_ll(engine_d, engine, S.n__seq, &seq_ll) < 0) {
+            Py_DECREF(ev_time);
+            goto done;
+        }
+        PyObject *oce = dget(core_d, core, S.n__oce);
+        PyObject *lbl = oce ? dget(core_d, core, S.n__event_label) : NULL;
+        PyObject *gen2_obj = lbl ? PyLong_FromLongLong(gen2) : NULL;
+        PyObject *ev = NULL;
+        if (gen2_obj != NULL)
+            ev = event_new(ev_time, seq_ll, oce, lbl, engine, gen2_obj);
+        Py_XDECREF(oce);
+        Py_XDECREF(lbl);
+        Py_XDECREF(gen2_obj);
+        if (ev == NULL) { Py_DECREF(ev_time); goto done; }
+        if (dset_ll(engine_d, S.n__seq, seq_ll + 1) < 0) {
+            Py_DECREF(ev);
+            Py_DECREF(ev_time);
+            goto done;
+        }
+        PyObject *bucket = PyDict_GetItemWithError(buckets, ev_time);
+        if (bucket == NULL) {
+            if (PyErr_Occurred()) {
+                Py_DECREF(ev);
+                Py_DECREF(ev_time);
+                goto done;
+            }
+            PyObject *tup = PyTuple_Pack(1, ev);
+            PyObject *dq =
+                tup ? PyObject_CallFunctionObjArgs(S.deque_type, tup, NULL)
+                    : NULL;
+            Py_XDECREF(tup);
+            if (dq == NULL) {
+                Py_DECREF(ev);
+                Py_DECREF(ev_time);
+                goto done;
+            }
+            int drc = PyDict_SetItem(buckets, ev_time, dq);
+            Py_DECREF(dq);
+            if (drc < 0 || heappush_c(times, ev_time, lt_time) < 0) {
+                Py_DECREF(ev);
+                Py_DECREF(ev_time);
+                goto done;
+            }
+        } else {
+            PyObject *r =
+                PyObject_CallMethodObjArgs(bucket, S.n_append, ev, NULL);
+            if (r == NULL) {
+                Py_DECREF(ev);
+                Py_DECREF(ev_time);
+                goto done;
+            }
+            Py_DECREF(r);
+        }
+        Py_DECREF(ev_time);
+        if (dadd_ll(engine_d, engine, S.n__size, 1) < 0) {
+            Py_DECREF(ev);
+            goto done;
+        }
+        int erc = dset(core_d, S.n__event, ev);
+        Py_DECREF(ev);
+        if (erc < 0) goto done;
+    }
+    {
+        int smt_active = dtrue(core_d, core, S.n__smt_active);
+        if (smt_active < 0) goto done;
+        if (smt_active) {
+            PyObject *r = PyObject_CallMethodObjArgs(
+                core, S.n__notify_sibling_rate_change, NULL);
+            if (r == NULL) goto done;
+            Py_DECREF(r);
+        }
+    }
+
+    rc = 0;
+done:
+    Py_XDECREF(prev_d);
+    Py_XDECREF(task_d);
+    Py_XDECREF(system_d);
+    Py_XDECREF(rq_d);
+    Py_XDECREF(stats_d);
+    Py_XDECREF(prev);
+    Py_XDECREF(task);
+    Py_XDECREF(params);
+    Py_XDECREF(system);
+    Py_XDECREF(rq);
+    Py_XDECREF(stats);
+    Py_XDECREF(load_epoch);
+    Py_XDECREF(mem_busy);
+    Py_XDECREF(mem_epoch);
+    Py_DECREF(core_d);
+    return rc;
+}
+
+/* ------------------------------------------------------------------ */
+/* the drain loop (C twin of BatchedEngine._drain, single=False)       */
+/* ------------------------------------------------------------------ */
+
+static Py_ssize_t dq_len(PyObject *bucket) { return PyObject_Length(bucket); }
+
+/* returns 1 if at least one event dispatched, 0 if none, -1 on error */
+long long repro_drain(PyObject *engine, PyObject *until_obj) {
+    if (!S_ready) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "native engine core not initialised");
+        return -1;
+    }
+    PyObject *engine_d = idict(engine);
+    if (engine_d == NULL) return -1;
+    PyObject *buckets = dget(engine_d, engine, S.n__buckets);
+    if (buckets == NULL) { Py_DECREF(engine_d); return -1; }
+    PyObject *times = dget(engine_d, engine, S.n__times);
+    PyObject *observers = times ? dget(engine_d, engine, S.n_observers) : NULL;
+    if (observers == NULL) {
+        Py_DECREF(buckets);
+        Py_XDECREF(times);
+        Py_DECREF(engine_d);
+        return -1;
+    }
+    long long limit;
+    if (dget_ll(engine_d, engine, S.n_max_events, &limit) < 0) {
+        Py_DECREF(buckets);
+        Py_DECREF(times);
+        Py_DECREF(observers);
+        Py_DECREF(engine_d);
+        return -1;
+    }
+    int have_until = (until_obj != Py_None);
+    long long until = 0;
+    if (have_until) {
+        until = PyLong_AsLongLong(until_obj);
+        if (until == -1 && PyErr_Occurred()) goto fail;
+    }
+    long long dispatched_any = 0;
+    unsigned long long event_tick = 0;
+
+    while (PyList_GET_SIZE(times) > 0) {
+        PyObject *t_obj = PyList_GET_ITEM(times, 0); /* borrowed */
+        Py_INCREF(t_obj);
+        PyObject *bucket = PyDict_GetItemWithError(buckets, t_obj);
+        if (bucket == NULL) {
+            if (PyErr_Occurred()) { Py_DECREF(t_obj); goto fail; }
+            /* stale time left behind by a compaction */
+            PyObject *dead = heappop_c(times, lt_time);
+            Py_DECREF(t_obj);
+            if (dead == NULL) goto fail;
+            Py_DECREF(dead);
+            continue;
+        }
+        Py_INCREF(bucket);
+        /* one bound-method lookup per bucket, not one per event */
+        PyObject *popleft_m = PyObject_GetAttr(bucket, S.n_popleft);
+        if (popleft_m == NULL) {
+            Py_DECREF(bucket);
+            Py_DECREF(t_obj);
+            goto fail;
+        }
+        long long t = PyLong_AsLongLong(t_obj);
+        if (t == -1 && PyErr_Occurred()) goto bucket_fail;
+
+        if (have_until && t > until) {
+            /* mirror the heap loop: purge leading cancelled entries
+             * past ``until`` so ``pending`` agrees between backends */
+            for (;;) {
+                Py_ssize_t blen = dq_len(bucket);
+                if (blen < 0) goto bucket_fail;
+                if (blen == 0) break;
+                PyObject *ev0 = PySequence_GetItem(bucket, 0);
+                if (ev0 == NULL) goto bucket_fail;
+                int cancelled = ev_true(ev0, EV_CANCELLED, S.n_cancelled);
+                if (cancelled < 0) { Py_DECREF(ev0); goto bucket_fail; }
+                if (!cancelled) { Py_DECREF(ev0); break; }
+                PyObject *popped = PyObject_CallNoArgs(popleft_m);
+                Py_DECREF(ev0);
+                if (popped == NULL) goto bucket_fail;
+                if (ev_write(popped, EV_IN_HEAP, S.n_in_heap, Py_False) < 0 ||
+                    dadd_ll(engine_d, engine, S.n__cancelled, -1) < 0 ||
+                    dadd_ll(engine_d, engine, S.n__size, -1) < 0) {
+                    Py_DECREF(popped);
+                    goto bucket_fail;
+                }
+                Py_DECREF(popped);
+            }
+            Py_ssize_t blen = dq_len(bucket);
+            if (blen < 0) goto bucket_fail;
+            if (blen > 0) {
+                Py_DECREF(popleft_m);
+                Py_DECREF(bucket);
+                Py_DECREF(t_obj);
+                break; /* next live event is past until */
+            }
+            if (PyDict_DelItem(buckets, t_obj) < 0) goto bucket_fail;
+            PyObject *dead = heappop_c(times, lt_time);
+            Py_DECREF(popleft_m);
+            Py_DECREF(bucket);
+            Py_DECREF(t_obj);
+            if (dead == NULL) goto fail;
+            Py_DECREF(dead);
+            continue;
+        }
+
+        /* Python runs observers and then writes ``now = t`` ahead of
+         * every live dispatch; within one bucket the written value
+         * never changes, so with no observers registered at bucket
+         * entry the write (and the backwards-time guard) hoists to
+         * the first live dispatch of the bucket.  With observers the
+         * per-event order (observers first, then the write) is
+         * observable and the per-event path is kept.  An observer
+         * registered by a callback mid-bucket sees ``now == t``
+         * either way. */
+        int per_event_now = (PyList_GET_SIZE(observers) > 0);
+        int now_written = 0;
+
+        /* drain the bucket front-first; callbacks may append events
+         * for the current instant and the length re-check picks them
+         * up in seq order, exactly as the heap would */
+        for (;;) {
+            Py_ssize_t blen = dq_len(bucket);
+            if (blen < 0) goto bucket_fail;
+            if (blen == 0) break;
+            {
+                int stop = dtrue(engine_d, engine, S.n__stop_requested);
+                if (stop < 0) goto bucket_fail;
+                if (stop) {
+                    Py_DECREF(popleft_m);
+                    Py_DECREF(bucket);
+                    Py_DECREF(t_obj);
+                    goto out;
+                }
+            }
+            PyObject *ev = PyObject_CallNoArgs(popleft_m);
+            if (ev == NULL) goto bucket_fail;
+            if (ev_write(ev, EV_IN_HEAP, S.n_in_heap, Py_False) < 0 ||
+                dadd_ll(engine_d, engine, S.n__size, -1) < 0) {
+                Py_DECREF(ev);
+                goto bucket_fail;
+            }
+            {
+                int cancelled = ev_true(ev, EV_CANCELLED, S.n_cancelled);
+                if (cancelled < 0) { Py_DECREF(ev); goto bucket_fail; }
+                if (cancelled) {
+                    if (dadd_ll(engine_d, engine, S.n__cancelled, -1) < 0) {
+                        Py_DECREF(ev);
+                        goto bucket_fail;
+                    }
+                    Py_DECREF(ev);
+                    continue;
+                }
+            }
+            if (PyList_GET_SIZE(observers) > 0) {
+                int obs_fail = 0;
+                for (Py_ssize_t i = 0; i < PyList_GET_SIZE(observers); i++) {
+                    PyObject *obs = PyList_GET_ITEM(observers, i);
+                    Py_INCREF(obs);
+                    PyObject *r = PyObject_CallOneArg(obs, ev);
+                    Py_DECREF(obs);
+                    if (r == NULL) { obs_fail = 1; break; }
+                    Py_DECREF(r);
+                }
+                if (obs_fail) { Py_DECREF(ev); goto bucket_fail; }
+            }
+            if (per_event_now || !now_written) {
+                long long engine_now;
+                if (dget_ll(engine_d, engine, S.n_now, &engine_now) < 0) {
+                    Py_DECREF(ev);
+                    goto bucket_fail;
+                }
+                if (t < engine_now) { /* defensive, mirrors Python */
+                    PyErr_SetString(S.SimulationError,
+                                    "event queue time went backwards");
+                    Py_DECREF(ev);
+                    goto bucket_fail;
+                }
+                if (dset(engine_d, S.n_now, t_obj) < 0) {
+                    Py_DECREF(ev);
+                    goto bucket_fail;
+                }
+                now_written = 1;
+            }
+            {
+                long long d;
+                if (dget_ll(engine_d, engine, S.n__dispatched, &d) < 0) {
+                    Py_DECREF(ev);
+                    goto bucket_fail;
+                }
+                d += 1;
+                if (dset_ll(engine_d, S.n__dispatched, d) < 0) {
+                    Py_DECREF(ev);
+                    goto bucket_fail;
+                }
+                if (d > limit) {
+                    PyObject *lbl = ev_read(ev, EV_LABEL, S.n_label);
+                    if (lbl != NULL) {
+                        PyErr_Format(S.SimulationError,
+                                     "event limit exceeded (%lld); likely "
+                                     "livelock near t=%lld (last: %R)",
+                                     limit, t, lbl);
+                        Py_DECREF(lbl);
+                    }
+                    Py_DECREF(ev);
+                    goto bucket_fail;
+                }
+            }
+            /* dispatch: the fused core event runs in C, everything
+             * else through the ordinary Python call */
+            {
+                PyObject *cb = ev_read(ev, EV_CALLBACK, S.n_callback);
+                if (cb == NULL) { Py_DECREF(ev); goto bucket_fail; }
+                PyObject *payload = ev_read(ev, EV_PAYLOAD, S.n_payload);
+                if (payload == NULL) {
+                    Py_DECREF(cb);
+                    Py_DECREF(ev);
+                    goto bucket_fail;
+                }
+                int ok;
+                if (payload != Py_None && PyMethod_Check(cb) &&
+                    PyMethod_GET_FUNCTION(cb) == S.fused) {
+                    stat_fused++;
+                    ok = (fused_core_event(PyMethod_GET_SELF(cb), payload,
+                                           engine, engine_d, buckets, times,
+                                           t_obj, t) == 0);
+                } else {
+                    stat_generic++;
+                    PyObject *r = (payload == Py_None)
+                                      ? PyObject_CallNoArgs(cb)
+                                      : PyObject_CallOneArg(cb, payload);
+                    ok = (r != NULL);
+                    Py_XDECREF(r);
+                }
+                Py_DECREF(payload);
+                Py_DECREF(cb);
+                if (!ok) { Py_DECREF(ev); goto bucket_fail; }
+            }
+            Py_DECREF(ev);
+            dispatched_any = 1;
+            if (((++event_tick) & 4095) == 0 && PyErr_CheckSignals() < 0)
+                goto bucket_fail;
+            continue;
+
+        bucket_fail:
+            Py_DECREF(popleft_m);
+            Py_DECREF(bucket);
+            Py_DECREF(t_obj);
+            goto fail;
+        }
+
+        /* bucket exhausted: callbacks cannot have created a smaller
+         * time nor re-pushed t, so times[0] is still t */
+        if (PyDict_DelItem(buckets, t_obj) < 0) {
+            Py_DECREF(popleft_m);
+            Py_DECREF(bucket);
+            Py_DECREF(t_obj);
+            goto fail;
+        }
+        {
+            PyObject *dead = heappop_c(times, lt_time);
+            Py_DECREF(popleft_m);
+            Py_DECREF(bucket);
+            Py_DECREF(t_obj);
+            if (dead == NULL) goto fail;
+            Py_DECREF(dead);
+        }
+    }
+
+out:
+    Py_DECREF(buckets);
+    Py_DECREF(times);
+    Py_DECREF(observers);
+    Py_DECREF(engine_d);
+    return dispatched_any;
+
+fail:
+    Py_DECREF(buckets);
+    Py_DECREF(times);
+    Py_DECREF(observers);
+    Py_DECREF(engine_d);
+    return -1;
+}
+
+/* ------------------------------------------------------------------ */
+/* initialisation                                                      */
+/* ------------------------------------------------------------------ */
+
+/* the binding module checks this against its expected value so a stale
+ * cached artifact from an older source revision is never used */
+long long repro_native_abi(void) { return 1; }
+
+/* dispatch-path counters: 0 = fused-in-C, 1 = generic Python call,
+ * 2 = delegated to the Python fused twin; anything else = -1 */
+long long repro_native_stat(long long which) {
+    switch (which) {
+    case 0: return stat_fused;
+    case 1: return stat_generic;
+    case 2: return stat_delegated;
+    default: return -1;
+    }
+}
+
+/* resolve the Event __slots__ member offsets from the class's slot
+ * descriptors; refuses anything that is not a real member descriptor
+ * so a future Event redesign fails loudly here instead of corrupting
+ * memory */
+static int resolve_ev_slots(void) {
+    static const char *names[EV_NSLOTS] = {
+        "time", "seq", "callback", "cancelled",
+        "label", "engine", "in_heap", "payload",
+    };
+    for (int i = 0; i < EV_NSLOTS; i++) {
+        PyObject *d = PyObject_GetAttrString(S.EventClass, names[i]);
+        if (d == NULL) return -1;
+        if (!PyObject_TypeCheck(d, &PyMemberDescr_Type)) {
+            Py_DECREF(d);
+            PyErr_Format(PyExc_TypeError,
+                         "Event.%s is not a slot descriptor", names[i]);
+            return -1;
+        }
+        ev_off[i] = ((PyMemberDescrObject *)d)->d_member->offset;
+        Py_DECREF(d);
+    }
+    return 0;
+}
+
+static PyObject *take(PyObject *support, const char *key) {
+    PyObject *v = PyDict_GetItemString(support, key); /* borrowed */
+    if (v == NULL) {
+        PyErr_Format(PyExc_KeyError, "native support dict missing %s", key);
+        return NULL;
+    }
+    Py_INCREF(v);
+    return v;
+}
+
+long long repro_native_init(PyObject *support) {
+    if (S_ready) return 0;
+    if (!PyDict_Check(support)) {
+        PyErr_SetString(PyExc_TypeError, "support must be a dict");
+        return -1;
+    }
+#define X(n)                                                                \
+    S.n_##n = PyUnicode_InternFromString(#n);                               \
+    if (S.n_##n == NULL) return -1;
+    ATTR_NAMES(X)
+#undef X
+    if ((S.SimulationError = take(support, "SimulationError")) == NULL ||
+        (S.EventClass = take(support, "Event")) == NULL ||
+        (S.fused = take(support, "fused")) == NULL ||
+        (S.CfsParams = take(support, "CfsParams")) == NULL ||
+        (S.st_running = take(support, "RUNNING")) == NULL ||
+        (S.st_runnable = take(support, "RUNNABLE")) == NULL ||
+        (S.wm_yield = take(support, "YIELD")) == NULL ||
+        (S.entry_counter = take(support, "entry_counter")) == NULL ||
+        (S.deque_type = take(support, "deque")) == NULL)
+        return -1;
+    if (resolve_ev_slots() < 0) return -1;
+    PyObject *eps = PyDict_GetItemString(support, "WORK_EPS");
+    PyObject *nice0 = PyDict_GetItemString(support, "NICE_0_WEIGHT");
+    if (eps == NULL || nice0 == NULL) {
+        PyErr_SetString(PyExc_KeyError,
+                        "native support dict missing WORK_EPS/NICE_0_WEIGHT");
+        return -1;
+    }
+    S.work_eps = PyFloat_AsDouble(eps);
+    S.nice0 = PyFloat_AsDouble(nice0);
+    if (PyErr_Occurred()) return -1;
+    S.str_wait = PyUnicode_InternFromString("wait");
+    S.str_run = PyUnicode_InternFromString("run");
+    if (S.str_wait == NULL || S.str_run == NULL) return -1;
+    S_ready = 1;
+    return 0;
+}

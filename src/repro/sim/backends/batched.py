@@ -69,13 +69,19 @@ class BatchedEngine(Engine):
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: int, callback: Callable[[], Any], label: str = "") -> Event:
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[..., Any],
+        label: str = "",
+        payload: Optional[Any] = None,
+    ) -> Event:
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}us in the past (now={self.now})")
         # inlined bucket insert (shared with schedule_at): this is the
         # hottest allocation site, so it pays to skip a helper frame
         time = self.now + int(delay)
-        ev = Event(time, self._seq, callback, label, self)
+        ev = Event(time, self._seq, callback, label, self, payload)
         self._seq += 1
         bucket = self._buckets.get(time)
         if bucket is None:
@@ -86,11 +92,17 @@ class BatchedEngine(Engine):
         self._size += 1
         return ev
 
-    def schedule_at(self, time: int, callback: Callable[[], Any], label: str = "") -> Event:
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[..., Any],
+        label: str = "",
+        payload: Optional[Any] = None,
+    ) -> Event:
         if time < self.now:
             raise SimulationError(f"cannot schedule at t={time} before now={self.now}")
         time = int(time)
-        ev = Event(time, self._seq, callback, label, self)
+        ev = Event(time, self._seq, callback, label, self, payload)
         self._seq += 1
         bucket = self._buckets.get(time)
         if bucket is None:
@@ -174,7 +186,11 @@ class BatchedEngine(Engine):
                         f"event limit exceeded ({limit}); "
                         f"likely livelock near t={self.now} (last: {ev.label!r})"
                     )
-                ev.callback()
+                payload = ev.payload
+                if payload is not None:
+                    ev.callback(payload)
+                else:
+                    ev.callback()
                 if single:
                     if not bucket:
                         del buckets[t]

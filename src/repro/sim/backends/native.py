@@ -1,0 +1,55 @@
+"""The native dispatch backend: the batched drain loop compiled to C.
+
+:class:`NativeEngine` is :class:`~repro.sim.backends.batched
+.BatchedEngine` with one substitution: ``run()``'s drain loop executes
+inside a small C library (``_native/engine_core.c``) compiled on first
+use with the stock ``cc`` toolchain and bound through stdlib
+:mod:`ctypes`.  Everything else -- the calendar-queue data structures,
+``schedule``/``cancel``, ``step()``, compaction, introspection -- is
+inherited Python; the C side reads and writes the very same attributes
+(``_buckets``, ``_times``, ``_size``, ...), so the two halves can
+interleave freely.
+
+The C loop additionally intercepts the hot fused scheduler event
+(:meth:`CoreSim._on_core_event_batched` on a CFS run queue) and runs a
+line-for-line C twin of it: C ``double`` arithmetic in the identical
+operation order reproduces CPython float results bit for bit, so every
+run digest is unchanged -- the same golden-digest wall that admitted
+the batched backend holds this one to the heap reference.  Cold paths
+(tracing, balancers, observers, blocked/idle transitions, non-CFS
+policies) call back into the ordinary Python methods.
+
+Construction raises :class:`~repro.sim.backends.nativebuild
+.NativeUnavailableError` when no C compiler is available; the
+pure-Python backends remain the reference and the fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.backends.batched import BatchedEngine
+from repro.sim.backends.nativebuild import load_native_lib
+
+__all__ = ["NativeEngine"]
+
+
+class NativeEngine(BatchedEngine):
+    """Calendar-queue engine whose drain loop runs in compiled C."""
+
+    def __init__(self, max_events: int = 200_000_000) -> None:
+        # compile/load before touching anything else so an unusable
+        # toolchain surfaces as NativeUnavailableError at construction,
+        # not as a mystery mid-run
+        self._lib = load_native_lib()
+        super().__init__(max_events=max_events)
+
+    def _drain(self, until: Optional[int], single: bool) -> bool:
+        if single:
+            # step() is a debugging/inspection path; the Python loop's
+            # single-event bookkeeping is not worth duplicating in C
+            return super()._drain(until, single)
+        rc: int = self._lib.repro_drain(self, until)
+        # a set Python error flag raises through PyDLL before we get
+        # here, so rc is 0 or 1
+        return bool(rc)

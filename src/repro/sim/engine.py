@@ -64,17 +64,29 @@ class Event:
     ``in_heap`` are engine-internal bookkeeping for the O(1) live-event
     counter; events forged without them (``engine=None``) still behave,
     they are just excluded from the cancelled-entry accounting.
+
+    ``payload`` rides along with the event and is passed to the
+    callback at dispatch (``callback(payload)``); a ``None`` payload
+    means a zero-argument callback.  The dispatch core uses this to
+    schedule a long-lived bound method plus a generation integer
+    instead of allocating a fresh closure per dispatched event -- the
+    payload slot is what keeps the hot kernel closure-free (KERN005)
+    and therefore portable to the compiled ``native`` backend.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "label", "engine", "in_heap")
+    __slots__ = (
+        "time", "seq", "callback", "cancelled", "label", "engine", "in_heap",
+        "payload",
+    )
 
     def __init__(
         self,
         time: int,
         seq: int,
-        callback: Callable[[], Any],
+        callback: Callable[..., Any],
         label: str,
         engine: Optional["Engine"] = None,
+        payload: Optional[Any] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -84,6 +96,7 @@ class Event:
         self.engine = engine
         # engine-created events are pushed immediately after construction
         self.in_heap = engine is not None
+        self.payload = payload
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent, O(1) amortized."""
@@ -155,27 +168,42 @@ class Engine:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: int, callback: Callable[[], Any], label: str = "") -> Event:
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[..., Any],
+        label: str = "",
+        payload: Optional[Any] = None,
+    ) -> Event:
         """Schedule ``callback`` to run ``delay`` microseconds from now.
 
         ``delay`` must be a non-negative integer; a zero delay runs the
         callback after all events already queued for the current time.
+        When ``payload`` is not None the callback is invoked as
+        ``callback(payload)``, which lets hot call sites schedule a
+        long-lived bound method instead of a fresh closure per event.
         Returns the :class:`Event` handle, which may be cancelled.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}us in the past (now={self.now})")
         # inlined schedule_at: delay >= 0 already guarantees time >= now,
         # and this is the hottest allocation site in the simulator.
-        ev = Event(self.now + int(delay), self._seq, callback, label, self)
+        ev = Event(self.now + int(delay), self._seq, callback, label, self, payload)
         self._seq += 1
         heappush(self._heap, (ev.time, ev.seq, ev))
         return ev
 
-    def schedule_at(self, time: int, callback: Callable[[], Any], label: str = "") -> Event:
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[..., Any],
+        label: str = "",
+        payload: Optional[Any] = None,
+    ) -> Event:
         """Schedule ``callback`` at absolute simulation ``time``."""
         if time < self.now:
             raise SimulationError(f"cannot schedule at t={time} before now={self.now}")
-        ev = Event(int(time), self._seq, callback, label, self)
+        ev = Event(int(time), self._seq, callback, label, self, payload)
         self._seq += 1
         heappush(self._heap, (ev.time, ev.seq, ev))
         return ev
@@ -250,7 +278,11 @@ class Engine:
                     f"event limit exceeded ({limit}); "
                     f"likely livelock near t={self.now} (last: {ev.label!r})"
                 )
-            ev.callback()
+            payload = ev.payload
+            if payload is not None:
+                ev.callback(payload)
+            else:
+                ev.callback()
             if single:
                 return True
             dispatched_any = True

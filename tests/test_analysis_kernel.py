@@ -742,16 +742,13 @@ class TestRepoIsClean:
         entries = suppress.load_allowlist(DEFAULT_ALLOWLIST, frozenset(KERN_RULES))
         assert entries == []
 
-    def test_shipped_baseline_is_documented_closure_debt_only(self):
-        """The committed debt is exactly the generation-capture closures
-        in the core dispatch path (the Event-payload refactor fixes
-        them); anything else must be fixed, not baselined."""
+    def test_shipped_baseline_is_empty(self):
+        """The Event-payload refactor retired the last committed debt
+        (the generation-capture closures in the core dispatch path), so
+        the strict ratchet is at zero: any new finding must be fixed,
+        not baselined."""
         allowed = load_baseline(DEFAULT_BASELINE, frozenset(KERN_RULES))
-        assert allowed  # non-empty: the debt is real and visible
-        for fp in allowed:
-            rule, rest = fp.split(" ", 1)
-            assert rule == "KERN005", fp
-            assert rest.startswith("repro/sched/core.py:"), fp
+        assert not allowed
 
     def test_cli_default_run_is_green(self, capsys):
         assert kernel_main([str(REPO / "src" / "repro")]) == 0
